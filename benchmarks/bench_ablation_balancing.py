@@ -1,0 +1,58 @@
+"""Ablation: CPU-selection policy (two-choice vs static vs least-loaded).
+
+Beyond Figure 16's static-vs-dynamic comparison, this ablation includes
+the aggressive least-loaded strawman the paper argues against
+(Section 4.3: stale per-packet load data makes chasing the minimum
+fluctuate) and sweeps several seeds so hash luck doesn't decide.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.metrics.report import Table
+from repro.workloads.multiflow import run_hotspot
+
+POLICIES = ("static", "two_choice", "least_loaded")
+SEEDS = (0,) if QUICK else (0, 1, 2, 3)
+
+
+def test_ablation_balancing_policies(benchmark):
+    def run():
+        results = {}
+        for policy in POLICIES:
+            runs = [
+                run_hotspot(
+                    policy,
+                    seed=seed,
+                    duration_ms=8 if QUICK else 20,
+                    warmup_ms=4 if QUICK else 8,
+                    burst_at_ms=2 if QUICK else 8,
+                )
+                for seed in SEEDS
+            ]
+            results[policy] = runs
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["policy", "mean kpps", "worst kpps", "mean p99 us", "reorders"],
+        title="hotspot scenario by balancing policy",
+    )
+    means = {}
+    for policy, runs in results.items():
+        rates = [r.message_rate_pps for r in runs]
+        p99s = [r.latency["p99"] for r in runs]
+        reorders = sum(r.reordered_messages for r in runs)
+        means[policy] = sum(rates) / len(rates)
+        table.add_row(
+            policy, means[policy] / 1e3, min(rates) / 1e3,
+            sum(p99s) / len(p99s), reorders,
+        )
+    print()
+    print(table.render())
+
+    # Two-choice resolves the hotspot better than static hashing.
+    assert means["two_choice"] >= means["static"]
+    # And the static policy never reorders (stable decisions).
+    assert all(r.reordered_messages == 0 for r in results["static"])

@@ -1,0 +1,69 @@
+"""Ablation: NUMA placement of FALCON_CPUS.
+
+The testbed machines are dual-socket (2×10 cores). Every cross-core hop
+Falcon introduces costs more when it crosses the socket boundary
+(`LocalityModel.cross_socket` > `cross_core`), so where the operator
+places FALCON_CPUS matters: same socket as the NIC/steering cores, the
+remote socket, or straddling both. The paper pins its Falcon cores
+implicitly; this ablation makes the placement cost explicit.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.core.config import FalconConfig
+from repro.metrics.report import Table
+from repro.workloads.sockperf import Testbed
+
+DUR = dict(warmup_ms=4 if QUICK else 8, measure_ms=8 if QUICK else 20)
+
+#: cores 0-9 are socket 0 (NIC, RPS, app); 10-19 are socket 1.
+PLACEMENTS = [
+    ("local socket", [3, 4, 5, 6]),
+    ("remote socket", [13, 14, 15, 16]),
+    ("straddling", [3, 4, 13, 14]),
+]
+
+
+def run_case(cpus):
+    bed = Testbed(mode="overlay", falcon=FalconConfig(cpus=list(cpus)))
+    bed.add_udp_flow(16, clients=3)
+    stress = bed.run(**DUR)
+    bed2 = Testbed(mode="overlay", falcon=FalconConfig(cpus=list(cpus)))
+    bed2.add_udp_flow(16, clients=1, rate_pps=300_000, poisson=True)
+    latency = bed2.run(**DUR)
+    return stress, latency
+
+
+def test_ablation_numa_placement(benchmark):
+    def run():
+        return {name: run_case(cpus) for name, cpus in PLACEMENTS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["FALCON_CPUS", "stress kpps", "avg us @300k", "p99 us @300k"],
+        title="Falcon CPU placement across sockets (16 B UDP)",
+    )
+    for name, _cpus in PLACEMENTS:
+        stress, latency = results[name]
+        table.add_row(
+            name,
+            stress.message_rate_pps / 1e3,
+            latency.latency["avg"],
+            latency.latency["p99"],
+        )
+    print()
+    print(table.render())
+
+    local_rate = results["local socket"][0].message_rate_pps
+    remote_rate = results["remote socket"][0].message_rate_pps
+    # Remote placement pays the cross-socket tax on every stage hop but
+    # must remain a large win over the vanilla overlay (~0.44 Mpps).
+    assert remote_rate <= local_rate * 1.02
+    assert remote_rate > 700_000.0
+    # Latency orders the same way.
+    assert (
+        results["local socket"][1].latency["avg"]
+        <= results["remote socket"][1].latency["avg"] * 1.05
+    )

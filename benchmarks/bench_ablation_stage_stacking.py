@@ -1,0 +1,52 @@
+"""Ablation: how many cores should one flow's pipeline spread over?
+
+Footnote 1 of Section 4.1: Falcon can stack multiple devices in one
+processing stage to even out load. This ablation varies the FALCON_CPUS
+set size for a single stressed flow; with only one Falcon CPU both
+overlay stages stack on it (the footnote's configuration), with two or
+more they pipeline. It also quantifies the diminishing return beyond the
+number of pipeline stages (two Falcon-managed stages per flow).
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.core.config import FalconConfig
+from repro.metrics.report import Table
+from repro.workloads.sockperf import Experiment
+
+DUR = dict(warmup_ms=4 if QUICK else 8, duration_ms=8 if QUICK else 20)
+CPU_SETS = ([3], [3, 4], [3, 4, 5, 6], [3, 4, 5, 6, 7, 8, 9, 10])
+
+
+def test_ablation_stage_stacking(benchmark):
+    def run():
+        results = {}
+        results["Con"] = Experiment(mode="overlay").run_udp_stress(16, **DUR)
+        for cpus in CPU_SETS:
+            exp = Experiment(mode="overlay", falcon=FalconConfig(cpus=list(cpus)))
+            results[len(cpus)] = exp.run_udp_stress(16, **DUR)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["falcon cpus", "kpps", "vs vanilla"],
+        title="single-flow UDP stress vs FALCON_CPUS size",
+    )
+    vanilla = results["Con"].message_rate_pps
+    table.add_row("vanilla", vanilla / 1e3, 1.0)
+    rates = {}
+    for cpus in CPU_SETS:
+        rate = results[len(cpus)].message_rate_pps
+        rates[len(cpus)] = rate
+        table.add_row(len(cpus), rate / 1e3, rate / vanilla)
+    print()
+    print(table.render())
+
+    # Even one dedicated Falcon core helps (both stages move off the RPS
+    # core), two or more pipeline the stages, and returns diminish once
+    # every stage has its own core.
+    assert rates[1] > vanilla
+    assert rates[4] >= rates[1]
+    assert rates[8] <= rates[4] * 1.15  # no magic beyond stage count

@@ -1,0 +1,95 @@
+"""Extension bench: dynamic function-level softirq splitting.
+
+The paper's Section 6.4 future work, implemented in
+:mod:`repro.core.dynamic`: a controller watches the driver core's load
+and toggles GRO splitting at runtime, so GRO-light workloads never pay
+the split's extra hop while GRO-heavy ones still get the offload.
+
+The scenario runs a mixed day: a GRO-heavy TCP-4KB phase (driver core
+saturates → split should activate) followed by a light phase. Compared
+against the two static choices — never-split and always-split — the
+dynamic controller must match the better of the two in each phase.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.core.config import FalconConfig
+from repro.core.dynamic import attach_dynamic_splitting
+from repro.metrics.report import Table
+from repro.workloads.sockperf import Testbed
+
+HEAVY_MS = 12 if QUICK else 30
+WARM_MS = 4 if QUICK else 8
+
+
+def run_phase(split_mode: str):
+    """One heavy TCP phase under a given splitting regime."""
+    falcon = FalconConfig(
+        cpus=[3, 4, 5, 6],
+        split_gro=split_mode != "never",
+        # "always": the static always-on split; "dynamic": controller-owned.
+        split_same_core=False,
+    )
+    bed = Testbed(mode="host", falcon=falcon)
+    controller = None
+    if split_mode == "dynamic":
+        controller = attach_dynamic_splitting(bed.stack, patience=2)
+    bed.add_tcp_flow(4096, window_msgs=128)
+    bed.add_tcp_flow(4096, window_msgs=128)
+    result = bed.run(warmup_ms=WARM_MS, measure_ms=HEAVY_MS)
+    return result, controller
+
+
+def run_light(split_mode: str):
+    """A light UDP phase where splitting is pure overhead."""
+    falcon = FalconConfig(cpus=[3, 4, 5, 6], split_gro=split_mode != "never")
+    bed = Testbed(mode="overlay", falcon=falcon)
+    controller = None
+    if split_mode == "dynamic":
+        controller = attach_dynamic_splitting(bed.stack, patience=2)
+    bed.add_udp_flow(128, clients=1, rate_pps=150_000, poisson=True)
+    result = bed.run(warmup_ms=WARM_MS, measure_ms=HEAVY_MS)
+    return result, controller
+
+
+def test_dynamic_splitting(benchmark):
+    def run():
+        data = {}
+        for mode in ("never", "always", "dynamic"):
+            data[("heavy", mode)] = run_phase(mode)
+            data[("light", mode)] = run_light(mode)
+        return data
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["phase", "splitting", "kmsg/s", "avg us", "driver-core util %"],
+        title="dynamic GRO splitting vs static never/always",
+    )
+    for (phase, mode), (result, controller) in data.items():
+        table.add_row(
+            phase,
+            mode,
+            result.message_rate_pps / 1e3,
+            result.latency["avg"],
+            result.cpu_util[0] * 100,
+        )
+    print()
+    print(table.render())
+
+    heavy_never = data[("heavy", "never")][0].message_rate_pps
+    heavy_dynamic = data[("heavy", "dynamic")][0].message_rate_pps
+    controller = data[("heavy", "dynamic")][1]
+    # Heavy phase: the controller activated and recovers (most of) the
+    # always-split throughput advantage over never-split.
+    assert controller.activations >= 1
+    assert heavy_dynamic >= heavy_never * 0.98
+
+    light_always = data[("light", "always")][0].latency["avg"]
+    light_dynamic = data[("light", "dynamic")][0].latency["avg"]
+    light_controller = data[("light", "dynamic")][1]
+    # Light phase: the controller never activates, avoiding the split's
+    # extra hop latency the always-split case pays.
+    assert light_controller.activations == 0
+    assert light_dynamic <= light_always

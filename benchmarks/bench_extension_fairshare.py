@@ -1,0 +1,74 @@
+"""Extension bench: tenant-fair FALCON_CPUS allocation.
+
+The paper's §6.4 closes with: "policies on how to fairly allocate cycles
+for parallelizing each user's flows need to be further developed."
+:mod:`repro.core.fairshare` implements weighted partitioning of the
+Falcon CPU set; this bench reproduces the motivating incident — a noisy
+tenant's elephant flow versus a paced victim tenant — under three
+policies: vanilla overlay (no Falcon), plain Falcon (shared CPUs), and
+fair-share Falcon (partitioned CPUs).
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.core.config import FalconConfig
+from repro.core.fairshare import use_fair_share
+from repro.metrics.report import Table
+from repro.sim.stats import LatencyRecorder
+from repro.workloads.sockperf import Testbed
+
+DUR = dict(warmup_ms=4 if QUICK else 8, measure_ms=10 if QUICK else 25)
+
+
+def run_case(policy: str):
+    falcon = None if policy == "vanilla" else FalconConfig(cpus=[3, 4, 5, 6])
+    bed = Testbed(mode="overlay", falcon=falcon, app_cpus=[9, 10])
+    balancer = None
+    if policy == "fairshare":
+        balancer = use_fair_share(bed.stack.falcon, {"victim": 1, "noisy": 1})
+    victim_latency = LatencyRecorder()
+    victim = bed.add_udp_flow(
+        512,
+        clients=1,
+        rate_pps=60_000,
+        poisson=True,
+        on_message=lambda s, skb, lat: victim_latency.record(lat),
+    )
+    noisy = bed.add_udp_flow(16, clients=3)  # saturating elephant
+    if balancer is not None:
+        balancer.assign_flow(victim, "victim")
+        balancer.assign_flow(noisy, "noisy")
+    result = bed.run(**DUR)
+    return result, victim_latency
+
+
+def test_extension_fairshare(benchmark):
+    def run():
+        return {policy: run_case(policy) for policy in
+                ("vanilla", "falcon", "fairshare")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["policy", "victim avg us", "victim p99 us", "total kpps"],
+        title="victim tenant (60 kpps) vs noisy elephant tenant",
+    )
+    for policy, (result, latency) in results.items():
+        table.add_row(
+            policy, latency.mean, latency.percentile(99),
+            result.message_rate_pps / 1e3,
+        )
+    print()
+    print(table.render())
+
+    victim_fair = results["fairshare"][1]
+    victim_shared = results["falcon"][1]
+    # Partitioning keeps the victim's stage cores clear of the elephant:
+    # tail latency must improve over shared-Falcon.
+    assert victim_fair.percentile(99) < victim_shared.percentile(99)
+    # And the fair policy keeps most of Falcon's aggregate gain vs vanilla.
+    assert (
+        results["fairshare"][0].message_rate_pps
+        > 1.2 * results["vanilla"][0].message_rate_pps
+    )

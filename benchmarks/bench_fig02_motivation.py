@@ -1,0 +1,37 @@
+"""Figure 2 — motivation measurements (overlay vs native)."""
+
+from conftest import run_figure
+
+from repro.experiments import fig02_motivation
+
+
+def test_fig02_motivation(benchmark, quick):
+    out = run_figure(benchmark, fig02_motivation, quick)
+
+    # Headline shapes from the paper:
+    # (b) the overlay's packet-rate deficit is largest for small packets.
+    rates = out.series["pktrate_vs_size"]
+    small = min(rates)
+    host_small, con_small = rates[small]
+    assert con_small < 0.6 * host_small
+
+    # (d) overlay latency is clearly above native for both protocols.
+    for proto in ("udp", "tcp"):
+        host_lat, con_lat = out.series["latency"][proto]
+        assert con_lat > 1.2 * host_lat
+
+    # (c) the overlay's multi-flow loss grows with the flow:core ratio.
+    multiflow = out.series["multiflow"]
+    if (4, 4) in multiflow and (16, 4) in multiflow:
+        host_11, con_11 = multiflow[(4, 4)]
+        host_41, con_41 = multiflow[(16, 4)]
+        assert con_41 / host_41 < con_11 / host_11
+
+    # (a) at 10G with 64 KB messages the penalty shrinks vs 100G (the
+    # link, not the CPU, is the native bottleneck).
+    throughput = out.series["throughput_64k"]
+    if (10.0, "udp") in throughput:
+        host10, con10 = throughput[(10.0, "udp")]
+        host100, con100 = throughput[(100.0, "udp")]
+        assert con100 / host100 < 0.7  # big loss at 100G
+        assert con10 / host10 > con100 / host100  # smaller gap at 10G

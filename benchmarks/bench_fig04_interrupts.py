@@ -1,0 +1,25 @@
+"""Figure 4 — interrupt rates, native vs overlay."""
+
+import pytest
+from conftest import run_figure
+
+from repro.experiments import fig04_interrupts
+
+
+def test_fig04_interrupts(benchmark, quick):
+    out = run_figure(benchmark, fig04_interrupts, quick)
+    series = out.series["interrupts"]
+
+    # The overlay executes ~3x the device softirqs per packet (the
+    # paper's Figure 4 NET_RX bars measure 3.6x).
+    host_dev, con_dev = series["device_softirqs"]
+    assert host_dev == pytest.approx(1.0, abs=0.1)
+    assert 2.5 < con_dev / host_dev < 4.0
+
+    # Raise demand doubles (per-device raises incl. the steering hop).
+    host_raises, con_raises = series["NET_RX_raises"]
+    assert 1.7 < con_raises / host_raises < 4.5
+
+    # Hardware interrupt rate stays comparable (NAPI masks under load).
+    host_hw, con_hw = series["hardirq"]
+    assert con_hw < 3.0 * max(host_hw, 1.0)

@@ -1,0 +1,21 @@
+"""Figure 5 — softirq serialization and load imbalance."""
+
+from conftest import run_figure
+
+from repro.experiments import fig05_serialization
+
+
+def test_fig05_serialization(benchmark, quick):
+    out = run_figure(benchmark, fig05_serialization, quick)
+
+    # The overlay burns clearly more CPU than the host for the same rate.
+    busy = out.series["total_busy"]
+    assert busy["Con"] > 1.4 * busy["Host"]
+
+    # Single flow: the overlay's softirq load is stacked on one core —
+    # the busiest softirq core carries the majority of all softirq time.
+    util, softirq = out.series["single"]["Con"]
+    total_softirq = sum(softirq)
+    # Exclude the driver core (cpu 0) — we want the stage-processing cores.
+    stage_softirq = softirq[1:]
+    assert max(stage_softirq) > 0.6 * sum(stage_softirq)

@@ -1,0 +1,22 @@
+"""Figure 6 — flamegraph CPU shares: sockperf vs memcached."""
+
+from conftest import run_figure
+
+from repro.experiments import fig06_flamegraph
+
+
+def test_fig06_flamegraph(benchmark, quick):
+    out = run_figure(benchmark, fig06_flamegraph, quick)
+    sockperf = out.series["sockperf"]
+    memcached = out.series["memcached"]
+
+    # All three poll functions appear with real weight in both workloads.
+    for shares in (sockperf, memcached):
+        for name in ("mlx5e_napi_poll", "gro_cell_poll", "process_backlog"):
+            assert shares[name] > 0.02, name
+
+    # sockperf (uniform packets): the overlay overhead shows up as
+    # additional, comparably-weighted softirqs — no single poll function
+    # dominates the other two combined.
+    total = sum(sockperf.values())
+    assert max(sockperf.values()) < 0.75 * total

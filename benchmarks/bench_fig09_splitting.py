@@ -1,0 +1,18 @@
+"""Figure 9a — first-stage saturation under TCP 4 KB and GRO splitting."""
+
+from conftest import run_figure
+
+from repro.experiments import fig09_splitting
+
+
+def test_fig09_splitting(benchmark, quick):
+    out = run_figure(benchmark, fig09_splitting, quick)
+    driver = out.series["driver_util"]
+
+    # TCP 4 KB saturates the driver core; UDP and small TCP do not.
+    assert driver["TCP 4KB"] > 90.0
+    assert driver["UDP 4KB"] < driver["TCP 4KB"]
+    assert driver["TCP 1KB"] < driver["TCP 4KB"]
+
+    # GRO splitting takes real load off the driver core.
+    assert out.series["split_GRO-split"] < out.series["split_vanilla"] - 0.05

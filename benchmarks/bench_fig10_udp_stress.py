@@ -1,0 +1,24 @@
+"""Figure 10 — UDP single-flow stress: Host vs Con vs Falcon."""
+
+from conftest import run_figure
+
+from repro.experiments import fig10_udp_stress
+
+
+def test_fig10_udp_stress(benchmark, quick):
+    out = run_figure(benchmark, fig10_udp_stress, quick)
+
+    for key, series in out.series.items():
+        kernel, bandwidth = key
+        for size, values in series.items():
+            # Falcon always lands between the vanilla overlay and the host.
+            assert values["Falcon"] >= values["Con"] * 0.95, (key, size)
+            # The vanilla overlay never beats the host.
+            assert values["Con"] <= values["Host"] * 1.05, (key, size)
+
+    # Headline: at 100G / 16 B, Falcon reaches a large fraction of native
+    # while the vanilla overlay stays far behind.
+    series = out.series[("4.19", 100.0)]
+    values = series[16]
+    assert values["Falcon"] > 0.75 * values["Host"]
+    assert values["Con"] < 0.55 * values["Host"]

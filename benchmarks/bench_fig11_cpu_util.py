@@ -1,0 +1,21 @@
+"""Figure 11 — per-core CPU utilization of a single UDP flow."""
+
+from conftest import run_figure
+
+from repro.experiments import fig11_cpu_util
+
+
+def test_fig11_cpu_util(benchmark, quick):
+    out = run_figure(benchmark, fig11_cpu_util, quick)
+    cases = out.series["cases"]
+
+    # Vanilla Linux uses at most three cores for one flow.
+    assert len(cases["Host"]["cores_used"]) <= 3
+    assert len(cases["Con"]["cores_used"]) <= 3
+
+    # Falcon recruits additional cores for the extra softirq stages.
+    assert len(cases["Falcon"]["cores_used"]) >= len(cases["Con"]["cores_used"]) + 1
+
+    # And converts them into throughput: well above Con, close to Host.
+    assert cases["Falcon"]["rate"] > 1.5 * cases["Con"]["rate"]
+    assert cases["Falcon"]["rate"] > 0.75 * cases["Host"]["rate"]

@@ -1,0 +1,27 @@
+"""Figure 12 — per-message latency, underloaded and overloaded."""
+
+from conftest import run_figure
+
+from repro.experiments import fig12_latency
+
+
+def test_fig12_latency(benchmark, quick):
+    out = run_figure(benchmark, fig12_latency, quick)
+
+    # (a) underloaded UDP: Falcon's gain is modest on average, larger at
+    # the tail (p99.9), and the host remains fastest.
+    con = out.series[("udp_under", "Con")]
+    falcon = out.series[("udp_under", "Falcon")]
+    host = out.series[("udp_under", "Host")]
+    assert falcon["p99.9"] < con["p99.9"]
+    assert host["avg"] < falcon["avg"]
+
+    # (c) overloaded UDP: pipelining removes most of the queueing delay.
+    con_over = out.series[("udp_over", "Con")]
+    falcon_over = out.series[("udp_over", "Falcon")]
+    assert falcon_over["p99"] < 0.7 * con_over["p99"]
+
+    # (d) overloaded TCP: Falcon beats the vanilla overlay throughout.
+    con_tcp = out.series[("tcp_over", "Con")]
+    falcon_tcp = out.series[("tcp_over", "Falcon")]
+    assert falcon_tcp["avg"] < con_tcp["avg"]

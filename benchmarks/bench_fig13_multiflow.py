@@ -1,0 +1,29 @@
+"""Figure 13 — multi-flow UDP and TCP throughput with dedicated cores."""
+
+from conftest import run_figure
+
+from repro.experiments import fig13_multiflow
+
+
+def test_fig13_multiflow(benchmark, quick):
+    out = run_figure(benchmark, fig13_multiflow, quick)
+
+    for (proto, kernel), series in out.series.items():
+        for flows, values in series.items():
+            # Falcon consistently outperforms the vanilla overlay once
+            # there is steering pressure (>1 flow).
+            if flows >= 2:
+                assert values["Falcon"] > values["Con"], (proto, kernel, flows)
+
+    # TCP: GRO splitting helps the host network too (Host+ >= Host), and
+    # Falcon can beat even the plain host network (the paper: up to 37%).
+    udp_any = False
+    for kernel in ("4.19", "5.4"):
+        key = ("tcp", kernel)
+        if key not in out.series:
+            continue
+        series = out.series[key]
+        flows = max(series)
+        values = series[flows]
+        assert values["Host+"] >= values["Host"] * 0.98
+        assert values["Falcon"] > values["Host"] * 0.9

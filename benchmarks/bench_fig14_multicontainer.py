@@ -1,0 +1,21 @@
+"""Figure 14 — multi-container throughput in busy systems."""
+
+from conftest import run_figure
+
+from repro.experiments import fig14_multicontainer
+
+
+def test_fig14_multicontainer(benchmark, quick):
+    out = run_figure(benchmark, fig14_multicontainer, quick)
+
+    for proto, series in out.series.items():
+        counts = sorted(series)
+        gains = [series[count]["gain"] for count in counts]
+        # Falcon helps at moderate load...
+        assert max(gains) > 3.0, proto
+        # ...and never causes a material loss when the system saturates
+        # (the load gate turns it off).
+        assert min(gains) > -5.0, proto
+        # The benefit diminishes as utilization rises: the last point's
+        # gain is below the peak.
+        assert gains[-1] <= max(gains), proto

@@ -1,0 +1,24 @@
+"""Figure 15 — FALCON_LOAD_THRESHOLD sensitivity."""
+
+from conftest import run_figure
+
+from repro.experiments import fig15_threshold
+
+
+def test_fig15_threshold(benchmark, quick):
+    out = run_figure(benchmark, fig15_threshold, quick)
+
+    moderate = out.series["moderate"]
+    # A high-but-not-disabled threshold (90%) beats a conservative one
+    # (70%): low thresholds miss parallelization opportunities.
+    assert moderate["90%"] > moderate["70%"]
+    # And every Falcon setting beats vanilla at moderate load.
+    for label, value in moderate.items():
+        if label != "vanilla":
+            assert value >= moderate["vanilla"] * 0.97, label
+
+    if "high" in out.series:
+        high = out.series["high"]
+        # Always-on must not beat the gated 90% setting under high load
+        # (the paper: always-on hurts when the system is busy).
+        assert high["always-on"] <= high["90%"] * 1.05

@@ -1,0 +1,19 @@
+"""Figure 16 — two-choice dynamic balancing vs static hashing."""
+
+from conftest import run_figure
+
+from repro.experiments import fig16_adaptability
+
+
+def test_fig16_adaptability(benchmark, quick):
+    out = run_figure(benchmark, fig16_adaptability, quick)
+
+    # The dynamic policy resolves the hotspot: higher mean throughput
+    # (the paper reports ~18% for UDP). Quick mode runs a single seed on
+    # a short window, so only no-regression is asserted there.
+    assert out.series["gain"] > (0.99 if quick else 1.03)
+
+    # And it is consistent: every seed's dynamic run beats that seed's
+    # static run.
+    for static, dynamic in zip(out.series["static"], out.series["two_choice"]):
+        assert dynamic >= static * 0.99

@@ -1,0 +1,31 @@
+"""Figure 17 — CloudSuite Web Serving: vanilla overlay vs Falcon."""
+
+from conftest import run_figure
+
+from repro.experiments import fig17_webserving
+
+
+def test_fig17_webserving(benchmark, quick):
+    out = run_figure(benchmark, fig17_webserving, quick)
+    per_op = out.series["per_op"]
+
+    total_con, total_falcon = out.series["total_ops"]
+    # Overall operation rate up (quick runs have few samples per op, so
+    # only the aggregate is asserted tightly there).
+    assert total_falcon > (1.05 if quick else 1.2) * total_con
+
+    improved_ops = 0
+    improved_resp = 0
+    for name, data in per_op.items():
+        ops_con, ops_fal = data["ops"]
+        resp_con, resp_fal = data["response_ms"]
+        if ops_fal > ops_con:
+            improved_ops += 1
+        if resp_fal < resp_con:
+            improved_resp += 1
+    # Falcon improves the large majority of operation types on both
+    # axes. Quick windows see only a handful of completions per rare op,
+    # so the per-op breakdown is asserted on full runs only.
+    if not quick:
+        assert improved_ops >= len(per_op) - 1
+        assert improved_resp >= len(per_op) - 1

@@ -1,0 +1,20 @@
+"""Figure 18 — CloudSuite Data Caching (memcached) latency."""
+
+from conftest import run_figure
+
+from repro.experiments import fig18_datacaching
+
+
+def test_fig18_datacaching(benchmark, quick):
+    out = run_figure(benchmark, fig18_datacaching, quick)
+
+    # Ten clients: kernel interrupt handling dominates; Falcon cuts both
+    # the average and the tail substantially (paper: 51% / 53%).
+    ten = out.series[10]
+    assert ten["Falcon"]["avg"] < 0.75 * ten["Con"]["avg"]
+    assert ten["Falcon"]["p99"] < 0.8 * ten["Con"]["p99"]
+
+    if 1 in out.series:
+        # One client: only a slight tail improvement (paper: ~7%).
+        one = out.series[1]
+        assert one["Falcon"]["p99"] < 1.1 * one["Con"]["p99"]

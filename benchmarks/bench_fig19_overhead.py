@@ -1,0 +1,21 @@
+"""Figure 19 — Falcon's overhead: CPU usage and softirq counts."""
+
+from conftest import run_figure
+
+from repro.experiments import fig19_overhead
+
+
+def test_fig19_overhead(benchmark, quick):
+    out = run_figure(benchmark, fig19_overhead, quick)
+
+    for rate, data in out.series["by_rate"].items():
+        cpu = data["cpu"]
+        raises = data["raises"]
+        # Falcon triggers more softirq raises than the vanilla overlay
+        # (it splits one softirq into several smaller ones)...
+        assert raises["Falcon"] > raises["Con"]
+        # ...but its total CPU cost stays close to the vanilla overlay
+        # (the paper: <= ~10% more at high rates).
+        assert cpu["Falcon"] < 1.25 * cpu["Con"], rate
+        # Both overlay variants cost more than the native host network.
+        assert cpu["Con"] > cpu["Host"]

@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one figure of the paper: it runs the figure's
+experiment driver once (``rounds=1`` — these are simulation campaigns,
+not micro-benchmarks), prints the same rows/series the paper reports,
+and asserts the headline *direction* of the result (who wins), which is
+the claim the reproduction makes.
+
+Set ``REPRO_BENCH_QUICK=1`` to run reduced sweeps (useful in CI).
+"""
+
+import os
+
+import pytest
+
+#: Reduced sweeps when set (shorter windows, fewer points).
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return QUICK
+
+
+def run_figure(benchmark, module, quick_flag):
+    """Run a figure experiment under pytest-benchmark, print and save it."""
+    out = benchmark.pedantic(
+        module.run, kwargs=dict(quick=quick_flag), rounds=1, iterations=1
+    )
+    print()
+    print(out.render())
+    # pytest captures stdout for passing tests, so also persist the
+    # rendered figure where it can always be inspected.
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    name = module.__name__.rsplit(".", 1)[-1]
+    with open(os.path.join(results_dir, f"{name}.txt"), "w") as handle:
+        handle.write(out.render() + "\n")
+    return out

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline result in one page.
+
+Builds three identical single-flow UDP stress scenarios — native host
+network, vanilla Docker/VXLAN overlay, and Falcon-enabled overlay — and
+prints the packet rate, the per-core utilization (showing the overlay's
+serialized softirqs and Falcon's pipeline), and the latency spectrum.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Experiment, FalconConfig
+from repro.metrics.report import Table
+
+
+def main() -> None:
+    cases = [
+        ("Host (native)", dict(mode="host")),
+        ("Con (vanilla overlay)", dict(mode="overlay")),
+        ("Falcon (overlay)", dict(mode="overlay", falcon=FalconConfig())),
+    ]
+
+    table = Table(
+        ["case", "kpps", "vs host", "busy cores", "avg us", "p99 us"],
+        title="Single-flow UDP stress, 16 B messages, 100G link",
+    )
+    host_rate = None
+    for name, kwargs in cases:
+        result = Experiment(**kwargs).run_udp_stress(
+            message_size=16, duration_ms=20, warmup_ms=10
+        )
+        if host_rate is None:
+            host_rate = result.message_rate_pps
+        busy = [
+            f"cpu{index}:{util:.0%}"
+            for index, util in enumerate(result.cpu_util[:8])
+            if util > 0.05
+        ]
+        table.add_row(
+            name,
+            result.message_rate_pps / 1e3,
+            f"{result.message_rate_pps / host_rate:.0%}",
+            " ".join(busy),
+            result.latency["avg"],
+            result.latency["p99"],
+        )
+    print(table.render())
+    print()
+    print(
+        "Reading: the vanilla overlay stacks three softirq stages of the\n"
+        "flow on one core (the 100%-busy RPS core) and loses most of the\n"
+        "native packet rate; Falcon pipelines those stages across its\n"
+        "FALCON_CPUS and recovers near-native throughput (the paper's\n"
+        "Figures 10 and 11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

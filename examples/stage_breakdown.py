@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Scenario: where does a packet's time go? (per-stage tracing)
+
+Attaches a :class:`repro.metrics.tracing.PacketTracer` to a vanilla and
+a Falcon overlay stack and prints, per pipeline segment, the mean time a
+traced message spends there — the simulation's equivalent of the perf/
+flamegraph analysis the paper's Section 3 is built on, but at per-packet
+timeline granularity.
+
+Run:  python examples/stage_breakdown.py
+"""
+
+from repro.core.config import FalconConfig
+from repro.metrics.report import Table
+from repro.metrics.tracing import PacketTracer
+from repro.workloads.sockperf import Testbed
+
+RATE = 300_000.0
+
+
+def trace_case(falcon):
+    bed = Testbed(mode="overlay", falcon=falcon)
+    tracer = PacketTracer(sample_every=20)
+    bed.stack.tracer = tracer
+    bed.add_udp_flow(128, clients=1, rate_pps=RATE, poisson=True)
+    bed.run(warmup_ms=8, measure_ms=20)
+    return tracer
+
+
+def main() -> None:
+    for name, falcon in (("vanilla overlay", None), ("Falcon", FalconConfig())):
+        tracer = trace_case(falcon)
+        table = Table(
+            ["pipeline segment", "mean us", "samples"],
+            title=f"{name}: mean per-segment time "
+            f"(pipeline total {tracer.mean_pipeline_us():.1f} us)",
+        )
+        breakdown = sorted(
+            tracer.stage_breakdown().items(), key=lambda kv: -kv[1][0]
+        )
+        for label, (mean, count) in breakdown[:8]:
+            table.add_row(label, mean, count)
+        print(table.render())
+        cores = {
+            stage: sorted(cpus) for stage, cpus in tracer.cores_seen().items()
+        }
+        print(f"stage->cores: {cores}\n")
+
+
+if __name__ == "__main__":
+    main()

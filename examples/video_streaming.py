@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: an 'elephant' UDP flow — live HD video streaming.
+
+Section 6.4 names real-time applications built on heavy UDP flows (live
+HD streaming, VoIP, video conferencing, game servers) as the workloads
+that benefit most from Falcon. This example models a containerized media
+relay ingesting a single high-bitrate UDP stream and compares jitter and
+loss between the vanilla overlay and Falcon.
+
+Run:  python examples/video_streaming.py
+"""
+
+from repro import FalconConfig
+from repro.metrics.report import Table
+from repro.workloads.sockperf import Testbed
+
+#: A 4K live stream: ~25 Mbps of 1200-byte RTP packets is a light load;
+#: an ingest node multiplexing many channels sees hundreds of thousands
+#: of packets per second on one tunnel. We model a 300 kpps ingest flow.
+PACKET_BYTES = 1200
+PACKET_RATE = 300_000.0
+
+
+def run_case(name: str, falcon) -> list:
+    bed = Testbed(mode="overlay", falcon=falcon)
+    bed.add_udp_flow(
+        PACKET_BYTES, clients=1, rate_pps=PACKET_RATE, poisson=True
+    )
+    result = bed.run(warmup_ms=10, measure_ms=30)
+    # Jitter: spread between median and tail latency — what the decoder's
+    # dejitter buffer must absorb.
+    jitter = result.latency["p99.9"] - result.latency["p50"]
+    loss = sum(result.drops.values()) / max(result.messages_delivered, 1)
+    return [
+        name,
+        result.message_rate_pps / 1e3,
+        result.latency["p50"],
+        result.latency["p99.9"],
+        jitter,
+        f"{loss:.2%}",
+    ]
+
+
+def main() -> None:
+    table = Table(
+        ["case", "kpps", "p50 us", "p99.9 us", "jitter us", "loss"],
+        title=f"Live-stream ingest: {PACKET_BYTES} B @ {PACKET_RATE/1e3:.0f} kpps",
+    )
+    table.add_row(*run_case("vanilla overlay", None))
+    table.add_row(*run_case("Falcon", FalconConfig()))
+    print(table.render())
+    print()
+    print(
+        "Falcon's softirq pipelining keeps the tunnel's three processing\n"
+        "stages on separate cores, so bursts don't queue behind a single\n"
+        "saturated softirq core — the dejitter buffer can shrink."
+    )
+
+
+if __name__ == "__main__":
+    main()

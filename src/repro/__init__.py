@@ -1,0 +1,46 @@
+"""repro — a simulation-based reproduction of Falcon (EuroSys '21).
+
+Falcon ("Parallelizing Packet Processing in Container Overlay Networks",
+Lei, Munikar, Suo, Lu & Rao) pipelines the software interrupts of a
+single overlay-network flow across CPU cores. The original artifact is a
+Linux kernel patch; this library reproduces the system and its entire
+evaluation on a discrete-event model of the kernel's receive pipeline.
+
+Quickstart
+----------
+>>> from repro import Experiment, FalconConfig
+>>> exp = Experiment(mode="overlay", falcon=FalconConfig(cpus=[1, 3, 4, 5]))
+>>> result = exp.run_udp_stress(message_size=16, duration_ms=5)
+>>> result.packet_rate_pps > 0
+True
+
+See ``examples/quickstart.py`` for a guided tour and DESIGN.md for the
+architecture.
+"""
+
+from repro.core.config import FalconConfig
+from repro.core.falcon import FalconSteering
+from repro.kernel.costs import CostModel
+from repro.kernel.skb import FlowKey, Skb
+from repro.kernel.stack import NetworkStack, StackConfig
+from repro.overlay.host import Host
+from repro.overlay.network import OverlayNetwork
+from repro.sim.engine import Simulator
+from repro.workloads.sockperf import Experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "Experiment",
+    "FalconConfig",
+    "FalconSteering",
+    "FlowKey",
+    "Host",
+    "NetworkStack",
+    "OverlayNetwork",
+    "Simulator",
+    "Skb",
+    "StackConfig",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analytical models of the receive pipeline.
+
+A closed-form companion to the simulator: from the same
+:class:`~repro.kernel.costs.CostModel`, :mod:`~repro.analysis.pipeline`
+derives each mode's per-stage service times, predicts the bottleneck
+stage and the saturation packet rate, and estimates queueing latency.
+The cross-validation tests assert simulator and analysis agree, which
+protects both against silent calibration drift.
+"""
+
+from repro.analysis.pipeline import (
+    PipelineModel,
+    StageCost,
+    mm1_waiting_time_us,
+    predict_capacity_pps,
+)
+
+__all__ = [
+    "PipelineModel",
+    "StageCost",
+    "predict_capacity_pps",
+    "mm1_waiting_time_us",
+]

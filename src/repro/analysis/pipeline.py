@@ -1,0 +1,218 @@
+"""Closed-form pipeline analysis.
+
+The receive path is a tandem of single-server queues (one per core).
+For a single flow, each stage is pinned to one core, so:
+
+* **capacity** is set by the slowest station:
+  ``1 / max(per-core service time per message)``;
+* **latency** under Poisson load is approximated per station by the
+  M/M/1 waiting-time formula (an upper-ish bound for our near-
+  deterministic service times — M/D/1 would halve the queueing term;
+  both bound the simulator's behaviour).
+
+Stage compositions mirror :mod:`repro.kernel.stack`:
+
+* host:    pnic(driver) → hoststack → app-copy
+* overlay: pnic → outer-stack(+vxlan_rcv) → vxlan/bridge/veth →
+           container stack → app-copy
+
+For the vanilla overlay the three post-RPS stages share one core; for
+Falcon each runs on its own core (times a cross-core locality factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.kernel.costs import CostModel, fragment_sizes
+from repro.kernel.skb import PROTO_TCP, PROTO_UDP
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Service time of one pipeline station, per *message*."""
+
+    name: str
+    service_us: float
+
+    def capacity_pps(self) -> float:
+        return 1e6 / self.service_us if self.service_us > 0 else float("inf")
+
+
+class PipelineModel:
+    """Derives station service times from a cost model."""
+
+    def __init__(
+        self,
+        costs: CostModel,
+        message_size: int,
+        proto: int = PROTO_UDP,
+        overlay: bool = True,
+        locality: float = 1.08,
+        switch_cost_us: float = 0.0,
+    ) -> None:
+        self.costs = costs
+        self.message_size = message_size
+        self.proto = proto
+        self.overlay = overlay
+        self.locality = locality
+        self.switch_cost_us = switch_cost_us
+        self.fragments = fragment_sizes(
+            message_size, overlay, tcp=proto == PROTO_TCP
+        )
+
+    # ------------------------------------------------------------------
+    # Per-stage service times (per message)
+    # ------------------------------------------------------------------
+    def _wire_size(self, payload: int) -> int:
+        overhead = 28 + (50 if self.overlay else 0)
+        return payload + overhead
+
+    def driver_stage(self) -> StageCost:
+        costs = self.costs
+        total = 0.0
+        for payload in self.fragments:
+            size = self._wire_size(payload)
+            total += costs.skb_alloc.cost(size)
+            if self.proto == PROTO_TCP:
+                total += costs.napi_gro_receive.cost(size)
+            else:
+                total += costs.gro_check.cost(size)
+            total += costs.rps_steer.fixed
+        return StageCost("pnic", total)
+
+    def _l4_cost(self, size: int) -> float:
+        costs = self.costs
+        if self.proto == PROTO_TCP:
+            return costs.tcp_v4_rcv.cost(size) + costs.tcp_ack_tx.fixed
+        return costs.udp_rcv.cost(size)
+
+    def _tail_stage(self, name: str) -> StageCost:
+        """ip → defrag → l4 → socket for the terminal stack."""
+        costs = self.costs
+        per_message = self._l4_cost(self.message_size) + costs.sock_enqueue.fixed
+        per_fragment = 0.0
+        # After GRO, TCP arrives merged: per-packet costs are per message.
+        fragments = (
+            [self.message_size] if self.proto == PROTO_TCP else self.fragments
+        )
+        for payload in fragments:
+            per_fragment += costs.backlog_dequeue.fixed
+            per_fragment += costs.ip_rcv.cost(self._wire_size(payload))
+            if len(fragments) > 1:
+                per_fragment += costs.ip_defrag.cost(payload)
+        return StageCost(name, per_fragment + per_message)
+
+    def outer_stage(self) -> StageCost:
+        """Host-stack processing of the encapsulated packet (overlay)."""
+        costs = self.costs
+        total = 0.0
+        fragments = (
+            [self.message_size] if self.proto == PROTO_TCP else self.fragments
+        )
+        for payload in fragments:
+            size = self._wire_size(payload)
+            total += costs.backlog_dequeue.fixed
+            total += costs.ip_rcv.cost(size)
+            total += costs.udp_rcv_outer.fixed
+            total += costs.vxlan_rcv.cost(size)
+            total += costs.netif_rx.fixed
+        return StageCost("hoststack_outer", total)
+
+    def vxlan_stage(self) -> StageCost:
+        costs = self.costs
+        total = 0.0
+        fragments = (
+            [self.message_size] if self.proto == PROTO_TCP else self.fragments
+        )
+        for payload in fragments:
+            total += costs.gro_cell_poll.fixed
+            total += costs.br_handle_frame.cost(payload)
+            total += costs.veth_xmit.cost(payload)
+            total += costs.netif_rx.fixed
+        return StageCost("vxlan", total)
+
+    def app_stage(self) -> StageCost:
+        per_read = self.costs.copy_to_user.cost(self.message_size)
+        return StageCost("app_copy", per_read)
+
+    # ------------------------------------------------------------------
+    # Station layouts per mode
+    # ------------------------------------------------------------------
+    def stations(self, mode: str) -> List[StageCost]:
+        """Per-core service times for ``host`` / ``overlay`` / ``falcon``."""
+        loc = self.locality
+        if mode == "host":
+            return [
+                self.driver_stage(),
+                StageCost(
+                    "hoststack", self._tail_stage("hoststack").service_us * loc
+                ),
+                StageCost("app_copy", self.app_stage().service_us),
+            ]
+        outer = self.outer_stage()
+        vxlan = self.vxlan_stage()
+        tail = self._tail_stage("container")
+        if mode == "overlay":
+            stacked = (
+                outer.service_us + vxlan.service_us + tail.service_us
+            ) * loc + 3 * self.switch_cost_us
+            return [
+                self.driver_stage(),
+                StageCost("rps_core(stacked)", stacked),
+                StageCost("app_copy", self.app_stage().service_us),
+            ]
+        if mode == "falcon":
+            return [
+                self.driver_stage(),
+                StageCost("rps_core", outer.service_us * loc),
+                StageCost("vxlan_core", vxlan.service_us * loc),
+                StageCost("container_core", tail.service_us * loc),
+                StageCost("app_copy", self.app_stage().service_us),
+            ]
+        raise ValueError(f"unknown mode {mode!r}")
+
+    # ------------------------------------------------------------------
+    # Predictions
+    # ------------------------------------------------------------------
+    def bottleneck(self, mode: str) -> StageCost:
+        return max(self.stations(mode), key=lambda stage: stage.service_us)
+
+    def capacity_pps(self, mode: str) -> float:
+        return self.bottleneck(mode).capacity_pps()
+
+    def latency_us(self, mode: str, rate_pps: float) -> float:
+        """Mean sojourn time through the pipeline at a Poisson rate."""
+        total = 0.0
+        for stage in self.stations(mode):
+            total += stage.service_us
+            total += mm1_waiting_time_us(rate_pps, stage.service_us)
+        return total
+
+
+def mm1_waiting_time_us(rate_pps: float, service_us: float) -> float:
+    """M/M/1 mean waiting time; infinite when the station saturates."""
+    if service_us <= 0:
+        return 0.0
+    rho = rate_pps * service_us * 1e-6
+    if rho >= 1.0:
+        return float("inf")
+    return service_us * rho / (1.0 - rho)
+
+
+def predict_capacity_pps(
+    mode: str,
+    message_size: int,
+    proto: int = PROTO_UDP,
+    kernel: str = "4.19",
+) -> float:
+    """One-call capacity prediction for a standard configuration."""
+    overlay = mode in ("overlay", "falcon")
+    model = PipelineModel(
+        CostModel.for_kernel(kernel),
+        message_size,
+        proto=proto,
+        overlay=overlay,
+    )
+    return model.capacity_pps(mode)

@@ -1,0 +1,186 @@
+"""Command-line interface for exploratory runs.
+
+Examples::
+
+    python -m repro.cli stress   --mode overlay --size 16 --falcon
+    python -m repro.cli fixed    --mode host --size 1024 --rate 300000
+    python -m repro.cli tcp      --mode overlay --size 4096 --falcon --split-gro
+    python -m repro.cli latency  --size 16 --rate 300000
+    python -m repro.cli figures  --quick --only fig10_udp_stress
+
+`figures` delegates to :mod:`repro.experiments.run_all`; the other
+subcommands build a single scenario and print one result row plus the
+per-core utilization — the fastest way to poke at a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import FalconConfig
+from repro.metrics.report import Table
+from repro.workloads.sockperf import Experiment, RunResult
+
+
+def _falcon_from_args(args) -> Optional[FalconConfig]:
+    if not args.falcon:
+        return None
+    return FalconConfig(
+        cpus=[int(cpu) for cpu in args.falcon_cpus.split(",")],
+        load_threshold=args.load_threshold,
+        policy=args.policy,
+        split_gro=args.split_gro,
+    )
+
+
+def _experiment(args) -> Experiment:
+    return Experiment(
+        mode=args.mode,
+        falcon=_falcon_from_args(args),
+        kernel=args.kernel,
+        bandwidth_gbps=args.bandwidth,
+        steering=args.steering,
+        seed=args.seed,
+    )
+
+
+def _print_result(result: RunResult) -> None:
+    table = Table(["metric", "value"], title=f"{result.mode} / {result.proto}")
+    table.add_row("message rate", f"{result.message_rate_pps/1e3:,.1f} kmsg/s")
+    table.add_row("goodput", f"{result.goodput_gbps:.2f} Gbps")
+    table.add_row("offered", f"{result.offered_pps/1e3:,.1f} kmsg/s")
+    for pct in ("avg", "p50", "p90", "p99", "p99.9"):
+        table.add_row(f"latency {pct}", f"{result.latency[pct]:.1f} us")
+    table.add_row("reordered", result.reordered_messages)
+    table.add_row(
+        "drops",
+        " ".join(f"{k}={v}" for k, v in result.drops.items() if v) or "none",
+    )
+    print(table.render())
+    busy = [
+        f"cpu{index}:{util:.0%}"
+        for index, util in enumerate(result.cpu_util)
+        if util > 0.03
+    ]
+    print("busy cores:", " ".join(busy) or "(idle)")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mode", choices=["host", "overlay"], default="overlay")
+    parser.add_argument("--size", type=int, default=16, help="message bytes")
+    parser.add_argument("--kernel", choices=["4.19", "5.4"], default="4.19")
+    parser.add_argument("--bandwidth", type=float, default=100.0, help="link Gbps")
+    parser.add_argument("--steering", choices=["rps", "rfs"], default="rps")
+    parser.add_argument("--duration-ms", type=float, default=20.0)
+    parser.add_argument("--warmup-ms", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--falcon", action="store_true", help="enable Falcon")
+    parser.add_argument("--falcon-cpus", default="3,4,5,6")
+    parser.add_argument("--load-threshold", type=float, default=0.85)
+    parser.add_argument(
+        "--policy", choices=["two_choice", "static", "least_loaded"],
+        default="two_choice",
+    )
+    parser.add_argument("--split-gro", action="store_true")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stress = sub.add_parser("stress", help="UDP single-flow saturating stress")
+    _add_common(stress)
+    stress.add_argument("--clients", type=int, default=3)
+
+    fixed = sub.add_parser("fixed", help="UDP single flow at a fixed rate")
+    _add_common(fixed)
+    fixed.add_argument("--rate", type=float, required=True, help="messages/s")
+    fixed.add_argument("--poisson", action="store_true")
+
+    tcp = sub.add_parser("tcp", help="closed-loop TCP stream")
+    _add_common(tcp)
+    tcp.add_argument("--window", type=int, default=64, help="messages in flight")
+
+    latency = sub.add_parser(
+        "latency", help="Poisson fixed-rate latency comparison across modes"
+    )
+    _add_common(latency)
+    latency.add_argument("--rate", type=float, default=300_000.0)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("--quick", action="store_true")
+    figures.add_argument("--out", default="results")
+    figures.add_argument("--only", default=None, help="comma-separated list")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        from repro.experiments.run_all import run_all
+
+        only = set(args.only.split(",")) if args.only else None
+        run_all(quick=args.quick, out_dir=args.out, only=only)
+        return 0
+
+    if args.command == "stress":
+        result = _experiment(args).run_udp_stress(
+            args.size, clients=args.clients,
+            duration_ms=args.duration_ms, warmup_ms=args.warmup_ms,
+        )
+        _print_result(result)
+        return 0
+
+    if args.command == "fixed":
+        result = _experiment(args).run_udp_fixed(
+            args.size, rate_pps=args.rate, poisson=args.poisson,
+            duration_ms=args.duration_ms, warmup_ms=args.warmup_ms,
+        )
+        _print_result(result)
+        return 0
+
+    if args.command == "tcp":
+        result = _experiment(args).run_tcp_stream(
+            args.size, window_msgs=args.window,
+            duration_ms=args.duration_ms, warmup_ms=args.warmup_ms,
+        )
+        _print_result(result)
+        return 0
+
+    if args.command == "latency":
+        table = Table(
+            ["case", "avg us", "p90 us", "p99 us", "p99.9 us"],
+            title=f"latency at {args.rate/1e3:.0f} kmsg/s, {args.size} B",
+        )
+        cases = [("host", False), ("overlay", False), ("overlay", True)]
+        for mode, use_falcon in cases:
+            falcon = (
+                FalconConfig(
+                    cpus=[int(cpu) for cpu in args.falcon_cpus.split(",")]
+                )
+                if use_falcon
+                else None
+            )
+            exp = Experiment(
+                mode=mode, falcon=falcon, kernel=args.kernel,
+                bandwidth_gbps=args.bandwidth, seed=args.seed,
+            )
+            result = exp.run_udp_fixed(
+                args.size, rate_pps=args.rate, poisson=True,
+                duration_ms=args.duration_ms, warmup_ms=args.warmup_ms,
+            )
+            label = f"{mode}+falcon" if use_falcon else mode
+            table.add_row(
+                label,
+                *[result.latency[p] for p in ("avg", "p90", "p99", "p99.9")],
+            )
+        print(table.render())
+        return 0
+
+    return 1  # pragma: no cover - unreachable with required subcommands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Falcon — fast and balanced container networking (the paper's contribution).
+
+Falcon parallelizes the prolonged data path of a single overlay-network
+flow with three techniques (Section 4):
+
+1. **Softirq pipelining** (:mod:`~repro.core.pipelining`) — stage
+   transition functions steer each device's softirq stage of a flow to a
+   distinct core, selected by hashing flow *and* device identity.
+2. **Softirq splitting** (:mod:`~repro.core.splitting`) — a heavy device's
+   processing is split at function granularity across cores (GRO
+   splitting being the shipped instance).
+3. **Dynamic load balancing** (:mod:`~repro.core.balancing`) — a
+   two-random-choice CPU selection gated by a system-load threshold
+   (Algorithm 1).
+
+:class:`~repro.core.falcon.FalconSteering` ties the three together and is
+what the kernel stack consults at every stage-transition point.
+
+Two extensions implement the paper's stated future work (Section 6.4):
+:mod:`~repro.core.dynamic` (runtime function-level splitting, replacing
+the offline profiling + recompile workflow) and
+:mod:`~repro.core.fairshare` (weighted per-tenant partitioning of
+FALCON_CPUS for multi-user environments).
+"""
+
+from repro.core.balancing import (
+    LeastLoadedBalancer,
+    StaticHashBalancer,
+    TwoChoiceBalancer,
+    make_balancer,
+)
+from repro.core.config import FalconConfig
+from repro.core.dynamic import DynamicSplitController, attach_dynamic_splitting
+from repro.core.fairshare import FairShareBalancer, use_fair_share
+from repro.core.falcon import FalconSteering
+from repro.core.splitting import GRO_SPLIT, SplitSpec
+
+__all__ = [
+    "FalconConfig",
+    "FalconSteering",
+    "TwoChoiceBalancer",
+    "StaticHashBalancer",
+    "LeastLoadedBalancer",
+    "make_balancer",
+    "SplitSpec",
+    "GRO_SPLIT",
+    "DynamicSplitController",
+    "attach_dynamic_splitting",
+    "FairShareBalancer",
+    "use_fair_share",
+]

@@ -1,0 +1,99 @@
+"""Falcon steering — the Algorithm 1 ``netif_rx`` / ``get_falcon_cpu`` pair.
+
+:class:`FalconSteering` is consulted by every stage-transition point in
+the stack. It implements the enable gate (line 6: Falcon runs only while
+the average load of the Falcon CPU set is below ``FALCON_LOAD_THRESHOLD``)
+and delegates CPU choice to the configured balancer (lines 17–27).
+
+When Falcon is disabled — by configuration or by the load gate — the
+transition falls back to the vanilla path: the packet stays on the
+current core, which reproduces the serialized-softirq behaviour of the
+stock overlay network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.balancing import make_balancer
+from repro.core.config import FalconConfig
+from repro.hw.topology import Machine
+from repro.kernel.skb import Skb
+
+
+class FalconSteering:
+    """Per-host Falcon instance."""
+
+    def __init__(self, machine: Machine, config: FalconConfig) -> None:
+        config.validate(machine.num_cpus)
+        self.machine = machine
+        self.config = config
+        self.balancer = make_balancer(config)
+        # --- statistics -------------------------------------------------
+        #: Transitions steered by Falcon.
+        self.steered = 0
+        #: Transitions that fell back to the vanilla path (load gate).
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def active(self) -> bool:
+        """Line 6: is there room for parallelization right now?"""
+        if not self.config.enabled:
+            return False
+        if not self.config.threshold_enabled:
+            return True
+        load = self.machine.average_load(self.config.cpus)
+        return load < self.config.load_threshold
+
+    def select_cpu(self, skb: Skb, ifindex: int, current_cpu: int) -> int:
+        """The steering decision a stage-transition function makes.
+
+        Returns the CPU whose backlog should receive the packet's next
+        stage: a Falcon CPU when Falcon is active, the current CPU (the
+        vanilla ``netif_rx`` behaviour) otherwise.
+        """
+        if not self.active():
+            self.fallbacks += 1
+            return current_cpu
+        self.steered += 1
+        return self.balancer.select(
+            self.machine, self.config.cpus, skb.hash, ifindex
+        )
+
+    def selector(self, ifindex: int):
+        """Bind this steering instance to a device, for use as a
+        :class:`~repro.kernel.stages.EnqueueTransition` selector."""
+
+        def _select(skb: Skb, current_cpu: int) -> int:
+            return self.select_cpu(skb, ifindex, current_cpu)
+
+        return _select
+
+    def split_selector(self, ifindex: int, split_same_core: bool):
+        """Selector for a *split* half-stage.
+
+        ``split_same_core`` implements the Section 6.4 workaround: target
+        the current core so the split function never actually moves.
+        """
+        if split_same_core:
+            def _stay(skb: Skb, current_cpu: int) -> int:
+                return current_cpu
+
+            return _stay
+        return self.selector(ifindex)
+
+
+class VanillaSteering:
+    """The stock kernel's ``netif_rx``: always the current core.
+
+    Used when building a vanilla-overlay stack so the transition points
+    exist (they are part of the kernel) but never move packets.
+    """
+
+    def selector(self, ifindex: int):
+        def _select(skb: Skb, current_cpu: int) -> int:
+            return current_cpu
+
+        return _select

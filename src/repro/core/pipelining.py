@@ -1,0 +1,64 @@
+"""Softirq pipelining (Section 4.1) — design notes and helpers.
+
+Pipelining is realized at stack-construction time: the overlay stack's
+stage-transition points (the ``netif_rx`` at the end of the VXLAN stage
+and of the veth stage) are given a Falcon selector instead of the vanilla
+"stay on this core" selector. The stages themselves are untouched —
+exactly the property the paper claims (no data-structure changes, no RPS
+replacement, coexistence with RSS/RPS).
+
+This module provides the device-index plan: each transition point is
+identified by the ``ifindex`` of the device *whose processing follows*,
+because that is the value the packet's ``skb->dev`` holds when the
+kernel's ``netif_rx`` runs. One flow therefore hashes to a stable —
+and, with high probability, distinct — core per device.
+
+``expected_cpu_plan`` predicts, for a flow hash, which Falcon CPU each
+stage lands on; tests and the CPU-utilization experiments use it to
+assert the pipeline actually spreads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.balancing import first_choice_cpu
+from repro.core.config import FalconConfig
+
+
+def expected_cpu_plan(
+    flow_hash: int, ifindexes: List[int], falcon_cpus: List[int]
+) -> Dict[int, int]:
+    """First-choice CPU per device for a flow (no load effects).
+
+    >>> plan = expected_cpu_plan(0xABCD, [3, 5], [1, 2, 3, 4])
+    >>> sorted(plan) == [3, 5]
+    True
+    """
+    return {
+        ifindex: first_choice_cpu(falcon_cpus, flow_hash, ifindex)
+        for ifindex in ifindexes
+    }
+
+
+def pipeline_width(flow_hash: int, ifindexes: List[int], falcon_cpus: List[int]) -> int:
+    """How many distinct cores the flow's stages spread across."""
+    plan = expected_cpu_plan(flow_hash, ifindexes, falcon_cpus)
+    return len(set(plan.values()))
+
+
+def stacking_plan(
+    config: FalconConfig, ifindexes: List[int], stack_groups: int
+) -> List[List[int]]:
+    """Group devices into processing stages (footnote 1 of Section 4.1).
+
+    Falcon can stack multiple devices into one stage to even out load.
+    Returns ``stack_groups`` groups of device indexes, contiguous in path
+    order, as balanced as possible by count.
+    """
+    if stack_groups < 1:
+        raise ValueError("need at least one stage group")
+    groups: List[List[int]] = [[] for _ in range(min(stack_groups, len(ifindexes)))]
+    for position, ifindex in enumerate(ifindexes):
+        groups[position * len(groups) // len(ifindexes)].append(ifindex)
+    return groups

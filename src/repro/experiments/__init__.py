@@ -1,0 +1,29 @@
+"""Experiment drivers — one module per figure of the paper.
+
+Every module exposes ``run(quick=False) -> ExperimentOutput``; the
+benchmark harness in ``benchmarks/`` regenerates each figure by calling
+it and printing the rows/series the paper reports. ``quick=True`` runs a
+reduced sweep (shorter windows, fewer points) for smoke tests.
+
+| Module                | Paper figure |
+|-----------------------|--------------|
+| fig02_motivation      | Fig 2 (a–d)  |
+| fig04_interrupts      | Fig 4        |
+| fig05_serialization   | Fig 5        |
+| fig06_flamegraph      | Fig 6        |
+| fig09_splitting       | Fig 9a       |
+| fig10_udp_stress      | Fig 10       |
+| fig11_cpu_util        | Fig 11       |
+| fig12_latency         | Fig 12       |
+| fig13_multiflow       | Fig 13       |
+| fig14_multicontainer  | Fig 14       |
+| fig15_threshold       | Fig 15       |
+| fig16_adaptability    | Fig 16       |
+| fig17_webserving      | Fig 17       |
+| fig18_datacaching     | Fig 18       |
+| fig19_overhead        | Fig 19       |
+"""
+
+from repro.experiments.runner import ExperimentOutput, falcon_config, standard_modes
+
+__all__ = ["ExperimentOutput", "falcon_config", "standard_modes"]

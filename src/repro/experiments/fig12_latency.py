@@ -1,0 +1,102 @@
+"""Figure 12 — per-message latency, underloaded and overloaded.
+
+Four panels: (a) UDP 16 B underloaded, (b) TCP 4 KB underloaded,
+(c) UDP 16 B overloaded, (d) TCP 4 KB overloaded. The paper's reading:
+underloaded, Falcon improves modestly on average and strongly at the
+tail; overloaded, softirq pipelining removes most of the queueing delay
+and approaches native latency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentOutput,
+    durations,
+    falcon_config,
+    standard_modes,
+)
+from repro.metrics.report import Table
+from repro.workloads.sockperf import Experiment
+
+PCTS = ("avg", "p90", "p99", "p99.9")
+
+
+def _table(title):
+    return Table(["case"] + list(PCTS), title=title)
+
+
+def _row(table, label, latency):
+    table.add_row(label, *[latency[p] for p in PCTS])
+
+
+def run(quick: bool = False) -> ExperimentOutput:
+    out = ExperimentOutput("Figure 12", "Effect of Falcon on per-message latency (µs)")
+    dur = durations(quick, 20.0, 8.0)
+    series = {}
+
+    # (a) underloaded UDP: Poisson at ~75% of the vanilla overlay capacity.
+    table_a = _table("(a) UDP 16 B, underloaded (Poisson 300 kpps)")
+    for label, kwargs in standard_modes():
+        result = Experiment(**kwargs).run_udp_fixed(
+            16, rate_pps=300_000, poisson=True, **dur
+        )
+        _row(table_a, label, result.latency)
+        series[("udp_under", label)] = result.latency
+    out.tables.append(table_a)
+
+    # (b) underloaded TCP 4 KB (paced). GRO splitting is shown as an
+    # extra configuration: at these rates the driver core is far from
+    # saturated, so the split's extra hop is pure overhead — the
+    # Section 6.4 caveat ("splitting should be applied with discretion").
+    table_b = _table("(b) TCP 4 KB, underloaded (60 kmsg/s)")
+    cases_b = standard_modes() + [
+        (
+            "Falcon+split",
+            dict(mode="overlay", falcon=falcon_config(split_gro=True)),
+        )
+    ]
+    for label, kwargs in cases_b:
+        result = Experiment(**kwargs).run_tcp_fixed(
+            4096, rate_pps=60_000, poisson=True, **dur
+        )
+        _row(table_b, label, result.latency)
+        series[("tcp_under", label)] = result.latency
+    out.tables.append(table_b)
+
+    # (c) overloaded UDP: "each case is driven to its respective maximum
+    # throughput before packet drop occurs" — measure each mode's
+    # capacity with a short stress probe, then hold it at 92% of that
+    # with Poisson arrivals. (Driving far past saturation would only
+    # measure buffer depths: every queue pegs at its capacity.)
+    table_c = _table("(c) UDP 16 B, overloaded (92% of each case's maximum)")
+    for label, kwargs in standard_modes():
+        probe = Experiment(**kwargs).run_udp_stress(
+            16, duration_ms=dur["duration_ms"] / 2, warmup_ms=dur["warmup_ms"]
+        )
+        rate = probe.message_rate_pps * 0.92
+        result = Experiment(**kwargs).run_udp_fixed(
+            16, rate_pps=rate, clients=3, poisson=True, **dur
+        )
+        _row(table_c, label, result.latency)
+        series[("udp_over", label)] = result.latency
+    out.tables.append(table_c)
+
+    # (d) overloaded TCP 4 KB: a fixed rate just under the vanilla
+    # overlay's capacity, so its queueing delay dominates while Falcon
+    # and the host run with headroom (the paper drives each case to its
+    # maximum; at the vanilla maximum the comparison is the same).
+    table_d = _table("(d) TCP 4 KB, overloaded (240 kmsg/s, window 256)")
+    for label, kwargs in standard_modes():
+        result = Experiment(**kwargs).run_tcp_fixed(
+            4096, rate_pps=240_000, window_msgs=256, poisson=True, **dur
+        )
+        _row(table_d, label, result.latency)
+        series[("tcp_over", label)] = result.latency
+    out.tables.append(table_d)
+
+    out.series.update(series)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,35 @@
+"""Hardware models.
+
+The paper's testbed is two DELL R640 servers (dual 10-core Xeon) connected
+by 10G and 100G Ethernet. This package models exactly the properties that
+matter to the paper's argument:
+
+* :mod:`~repro.hw.cpu` — per-core serialized execution with hardirq >
+  softirq > user dispatch priority. Softirq serialization on one core is
+  the bottleneck the paper identifies, so the CPU is the central model.
+* :mod:`~repro.hw.link` — bandwidth-limited links (10G vs 100G decides
+  whether the link or the CPU is the bottleneck, Figure 2).
+* :mod:`~repro.hw.nic` — multi-queue NIC with RSS, rx rings, and NAPI-style
+  interrupt suppression.
+* :mod:`~repro.hw.cache` — the cross-core locality tax that Falcon pays
+  for pipelining (Section 6.3).
+* :mod:`~repro.hw.topology` — assembles cores into a machine.
+"""
+
+from repro.hw.cache import LocalityModel
+from repro.hw.cpu import Cpu, HARDIRQ, SOFTIRQ, USER
+from repro.hw.link import Link
+from repro.hw.nic import Nic, RxQueue
+from repro.hw.topology import Machine
+
+__all__ = [
+    "Cpu",
+    "HARDIRQ",
+    "SOFTIRQ",
+    "USER",
+    "Link",
+    "LocalityModel",
+    "Machine",
+    "Nic",
+    "RxQueue",
+]

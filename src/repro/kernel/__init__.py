@@ -1,0 +1,22 @@
+"""Linux network-stack substrate.
+
+This package models the in-kernel receive pipeline the paper profiles
+(Section 2–3): hardware interrupts, NAPI polling, softirq scheduling,
+per-CPU backlog queues, RSS/RPS packet steering, GRO coalescing, IP
+fragment reassembly, the protocol layers, and socket delivery — plus the
+virtual devices a container overlay network adds (VXLAN, bridge, veth).
+
+The assembled receive path for one host lives in
+:class:`repro.kernel.stack.NetworkStack`.
+"""
+
+from repro.kernel.costs import CostModel
+from repro.kernel.skb import FlowKey, Skb
+
+# NetworkStack / StackConfig live in repro.kernel.stack; they are not
+# imported here because the stack pulls in repro.core (Falcon) and a
+# package-level import would create a cycle for users importing
+# repro.core first. Import them via ``from repro.kernel.stack import ...``
+# or from the top-level ``repro`` package.
+
+__all__ = ["CostModel", "FlowKey", "Skb"]

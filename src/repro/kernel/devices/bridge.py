@@ -1,0 +1,15 @@
+"""Linux bridge (``br_handle_frame``).
+
+Containers attach to the host network through a bridge; every inner
+packet is forwarded by ``br_handle_frame`` toward the container's veth
+port (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.costs import CostModel
+from repro.kernel.stages import Step
+
+
+def bridge_step(costs: CostModel) -> Step:
+    return Step.simple("br_handle_frame", costs.br_handle_frame)

@@ -1,0 +1,22 @@
+"""veth pair (``veth_xmit``).
+
+The veth device gates the container's private network stack. It is *not*
+a NAPI device: its transmit function enqueues the packet onto a per-CPU
+backlog (``input_pkt_queue``) via ``netif_rx`` and raises the third
+softirq of the overlay path (Section 3.1) — the transition point Falcon
+re-purposes to move the container-stack stage onto its own core.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.costs import CostModel
+from repro.kernel.stages import Step
+
+
+def veth_steps(costs: CostModel) -> List[Step]:
+    return [
+        Step.simple("veth_xmit", costs.veth_xmit),
+        Step.simple("netif_rx", costs.netif_rx),
+    ]

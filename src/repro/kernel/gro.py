@@ -1,0 +1,104 @@
+"""Generic Receive Offload (GRO) model.
+
+``napi_gro_receive`` merges consecutive same-flow TCP segments into one
+super-packet so the rest of the stack pays per-packet costs once instead
+of per-segment. The paper's Figure 9a shows this function (together with
+skb allocation) saturating the first core for TCP with 4 KB messages —
+the motivation for softirq splitting.
+
+Model: segments of one application message merge into a single skb.
+Merging is keyed per (engine, flow, message); a merge completes when the
+last segment of the message arrives, and any partial merges are flushed
+at the end of a NAPI batch (the kernel flushes at ``napi_complete`` or
+after 64 held segments — batch-end flushing is the same idea at our
+granularity).
+
+Each CPU owns a private engine instance (GRO state is per-NAPI in the
+kernel, and after Falcon's GRO splitting the merge work may run on a
+different core than the driver poll).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.skb import Skb
+
+
+class GroEngine:
+    """Per-CPU GRO merge state."""
+
+    def __init__(self) -> None:
+        # (flow_id, msg_id) -> accumulating skb
+        self._held: Dict[Tuple[int, int], Skb] = {}
+        self.merged_packets = 0
+        self.flushes = 0
+
+    def feed(self, skb: Skb, _cpu_index: int = 0) -> Optional[Skb]:
+        """Offer a wire packet to GRO.
+
+        Returns the packet (or the completed merged super-packet) when it
+        should continue down the stack, or None when it was absorbed into
+        an in-progress merge.
+        """
+        if not skb.is_tcp or skb.frag_count == 1:
+            return skb  # nothing to coalesce (UDP, or single-segment message)
+        key = (skb.flow.flow_id, skb.msg_id)
+        held = self._held.get(key)
+        if held is None:
+            if skb.is_last_fragment:
+                return skb  # sole outstanding segment; nothing to wait for
+            self._held[key] = skb
+            skb.segs = 1
+            return None
+        # Merge into the held skb.
+        held.size += skb.size
+        held.wire_size += skb.wire_size
+        held.segs += 1
+        held.frag_index = skb.frag_index
+        self.merged_packets += 1
+        if skb.is_last_fragment:
+            del self._held[key]
+            held.frag_count = 1  # the merged skb is a complete message
+            return held
+        return None
+
+    def flush(self, _cpu_index: int = 0) -> List[Skb]:
+        """End-of-batch flush: release all partial merges."""
+        if not self._held:
+            return []
+        released = list(self._held.values())
+        self._held.clear()
+        self.flushes += len(released)
+        return released
+
+    @property
+    def held_count(self) -> int:
+        return len(self._held)
+
+
+class GroCluster:
+    """One GRO engine per core.
+
+    GRO state is per-NAPI-context in the kernel; after Falcon's GRO
+    splitting, the merge function may run on any Falcon CPU, so each core
+    gets its own engine. A flow's segments always meet the same engine
+    because steering is per-flow sticky.
+    """
+
+    def __init__(self, num_cpus: int) -> None:
+        self.engines = [GroEngine() for _ in range(num_cpus)]
+
+    def feed(self, skb, cpu_index: int):
+        return self.engines[cpu_index].feed(skb, cpu_index)
+
+    def flush(self, cpu_index: int):
+        return self.engines[cpu_index].flush(cpu_index)
+
+    @property
+    def merged_packets(self) -> int:
+        return sum(engine.merged_packets for engine in self.engines)
+
+    @property
+    def held_count(self) -> int:
+        return sum(engine.held_count for engine in self.engines)

@@ -1,0 +1,69 @@
+"""Kernel-style hash functions.
+
+Two hashes matter to the paper:
+
+* the **flow hash** (``skb.hash``) computed from the packet's 5-tuple —
+  RSS and RPS use it to steer packets, so all packets of one flow share a
+  hash and land on one core (the root cause of Section 3.3);
+* **``hash_32``** — the kernel's multiplicative hash, which Falcon applies
+  to ``skb.hash + ifindex`` so that the *same flow* gets *distinct* target
+  CPUs at *different devices* (Algorithm 1, line 19), and applies again
+  for the second choice (line 25).
+
+Both are deterministic pure functions of their inputs — independent of
+``PYTHONHASHSEED`` — so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+#: 2^32 / golden ratio — the constant Linux uses for hash_32().
+GOLDEN_RATIO_32 = 0x61C88647
+
+
+def hash_32(value: int, bits: int = 32) -> int:
+    """The kernel's ``hash_32``: multiplicative hashing by the golden ratio.
+
+    Returns the high ``bits`` bits of ``value * GOLDEN_RATIO_32`` (mod 2^32),
+    which is how ``include/linux/hash.h`` defines it.
+    """
+    if not 0 < bits <= 32:
+        raise ValueError(f"bits must be in (0, 32], got {bits}")
+    product = (value * GOLDEN_RATIO_32) & _MASK32
+    return product >> (32 - bits)
+
+
+def _mix(h: int, value: int) -> int:
+    """One round of murmur3-style mixing (stable, well distributed)."""
+    k = (value & _MASK32) * 0xCC9E2D51 & _MASK32
+    k = ((k << 15) | (k >> 17)) & _MASK32
+    k = (k * 0x1B873593) & _MASK32
+    h ^= k
+    h = ((h << 13) | (h >> 19)) & _MASK32
+    h = (h * 5 + 0xE6546B64) & _MASK32
+    return h
+
+
+def _finalize(h: int) -> int:
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def flow_hash(src_ip: int, dst_ip: int, proto: int, sport: int, dport: int) -> int:
+    """Compute the 32-bit flow hash of a 5-tuple (``skb_get_hash`` analogue).
+
+    The hash is computed once per flow and cached on the skb, exactly as
+    the kernel caches ``skb->hash`` — a property Falcon relies on (the
+    flow part of its hash input never changes along the path).
+    """
+    h = 0x9747B28C
+    h = _mix(h, src_ip)
+    h = _mix(h, dst_ip)
+    h = _mix(h, (proto << 16) ^ sport)
+    h = _mix(h, dport)
+    return _finalize(h) or 1  # the kernel reserves 0 for "no hash"

@@ -1,0 +1,68 @@
+"""Protocol-layer steps (IP / UDP / TCP receive).
+
+These steps terminate a stack traversal: IP receive (with fragment
+reassembly for UDP messages larger than the MTU), the L4 receive
+function, and the socket enqueue. They are used twice on the overlay
+path — once for the outer packet (see :mod:`repro.kernel.devices.vxlan`)
+and once for the inner packet inside the container's namespace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel.costs import CostModel
+from repro.kernel.defrag import DefragEngine
+from repro.kernel.skb import Skb
+from repro.kernel.stages import Step
+
+
+def ip_rcv_step(costs: CostModel) -> Step:
+    return Step.simple("ip_rcv", costs.ip_rcv)
+
+
+def defrag_step(costs: CostModel, engine: DefragEngine) -> Step:
+    """``ip_defrag``: reassemble UDP fragments; TCP passes straight through
+    (its segments are either GRO-merged earlier or accumulate at the
+    socket)."""
+
+    def cost(skb: Skb) -> float:
+        if skb.is_tcp or skb.frag_count == 1:
+            return 0.0
+        return costs.ip_defrag.cost(skb.size)
+
+    def effect(skb: Skb, _cpu_index: int) -> Optional[Skb]:
+        if skb.is_tcp:
+            return skb
+        return engine.feed(skb)
+
+    return Step("ip_defrag", cost, effect)
+
+
+def l4_rcv_step(costs: CostModel) -> Step:
+    """``udp_rcv`` or ``tcp_v4_rcv`` depending on the packet's protocol.
+
+    The TCP cost includes ACK generation (``tcp_ack_tx``), charged per
+    merged skb, matching how GRO amortizes ACK traffic.
+    """
+
+    def cost(skb: Skb) -> float:
+        if skb.is_tcp:
+            return costs.tcp_v4_rcv.cost(skb.size) + costs.tcp_ack_tx.fixed
+        return costs.udp_rcv.cost(skb.size)
+
+    return Step("l4_rcv", cost)
+
+
+def sock_enqueue_step(costs: CostModel) -> Step:
+    return Step.simple("sock_enqueue", costs.sock_enqueue)
+
+
+def stack_tail_steps(costs: CostModel, defrag: DefragEngine) -> List[Step]:
+    """IP → defrag → L4 → socket: the end of any receive path."""
+    return [
+        ip_rcv_step(costs),
+        defrag_step(costs, defrag),
+        l4_rcv_step(costs),
+        sock_enqueue_step(costs),
+    ]

@@ -1,0 +1,377 @@
+"""Softirq scheduling and NAPI polling.
+
+This module implements the machinery Section 2.1 of the paper describes:
+
+* ``raise_net_rx`` — raising the ``NET_RX_SOFTIRQ`` on a core. If the
+  target core differs from the raising core, a rescheduling IPI (``RES``)
+  is sent, with its latency modelled — the paper attributes Falcon's
+  residual tail latency to exactly these IPIs (Section 6.1).
+* ``net_rx_action`` — the softirq handler: iterates the core's poll list,
+  polling each NAPI instance up to its weight within an overall budget,
+  re-raising itself when the budget runs out (ksoftirqd behaviour).
+* per-CPU backlog queues (``input_pkt_queue`` + ``process_backlog``) that
+  stage-transition functions (``netif_rx`` / ``enqueue_to_backlog``)
+  target — the mechanism Falcon re-purposes for pipelining.
+
+Interrupt accounting matches Figure 4's categories: one ``NET_RX`` count
+per softirq raise, one ``RES`` per cross-core wakeup IPI, one ``hardirq``
+per NIC interrupt.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.hw.cpu import SOFTIRQ
+from repro.hw.nic import Nic, RxQueue
+from repro.hw.topology import Machine
+from repro.kernel.costs import CostModel
+from repro.kernel.skb import Skb
+from repro.kernel.stages import Stage
+from repro.metrics.counters import HARDIRQ as IRQ_HARD
+from repro.metrics.counters import NET_RX, RES
+
+#: One queued unit of deferred work: a packet plus the stage that will
+#: process it when its softirq runs.
+WorkItem = Tuple[Skb, Stage]
+
+
+class Napi:
+    """Base NAPI instance: a pollable packet source."""
+
+    __slots__ = ("label", "weight", "scheduled")
+
+    def __init__(self, label: str, weight: int = 64) -> None:
+        self.label = label
+        self.weight = weight
+        #: True while on some core's poll list.
+        self.scheduled = False
+
+    def take(self, max_items: int) -> List[WorkItem]:
+        raise NotImplementedError
+
+    def has_work(self) -> bool:
+        raise NotImplementedError
+
+    def on_complete(self) -> None:
+        """Called when polled empty and removed from the poll list."""
+
+
+class DriverNapi(Napi):
+    """NAPI instance of one physical-NIC receive queue."""
+
+    __slots__ = ("rx_queue", "stage")
+
+    def __init__(self, rx_queue: RxQueue, stage: Stage, weight: int = 64) -> None:
+        super().__init__(label="mlx5e_napi_poll", weight=weight)
+        self.rx_queue = rx_queue
+        self.stage = stage
+
+    def take(self, max_items: int) -> List[WorkItem]:
+        ring = self.rx_queue.ring
+        items: List[WorkItem] = []
+        while ring and len(items) < max_items:
+            items.append((ring.popleft(), self.stage))
+        return items
+
+    def has_work(self) -> bool:
+        return bool(self.rx_queue.ring)
+
+    def on_complete(self) -> None:
+        # Polled the ring dry: re-enable the hardware interrupt.
+        self.rx_queue.napi_scheduled = False
+
+
+class BacklogNapi(Napi):
+    """The per-CPU backlog (``input_pkt_queue`` + ``process_backlog``)."""
+
+    __slots__ = ("queue", "capacity", "drops")
+
+    def __init__(self, capacity: int = 1000, weight: int = 64) -> None:
+        super().__init__(label="process_backlog", weight=weight)
+        self.queue: Deque[WorkItem] = deque()
+        self.capacity = capacity
+        self.drops = 0
+
+    def enqueue(self, skb: Skb, stage: Stage) -> bool:
+        if len(self.queue) >= self.capacity:
+            self.drops += 1
+            return False
+        self.queue.append((skb, stage))
+        return True
+
+    def take(self, max_items: int) -> List[WorkItem]:
+        queue = self.queue
+        items: List[WorkItem] = []
+        while queue and len(items) < max_items:
+            items.append(queue.popleft())
+        return items
+
+    def has_work(self) -> bool:
+        return bool(self.queue)
+
+
+class SoftNetData:
+    """Per-CPU softirq state (the kernel's ``softnet_data``).
+
+    Each processing stage gets its own per-CPU queue, mirroring the
+    kernel: the RPS/driver injections land in the backlog proper
+    (``input_pkt_queue``), the VXLAN device owns a per-CPU gro_cell
+    queue, veth re-injections are spliced locally, etc. ``net_rx_action``
+    round-robins between them, so re-injected mid-pipeline packets are
+    not starved behind the fresh-arrival firehose.
+    """
+
+    __slots__ = (
+        "poll_list",
+        "queues",
+        "net_rx_active",
+        "capacity",
+        "weight",
+        "last_stage",
+    )
+
+    def __init__(self, backlog_capacity: int, weight: int) -> None:
+        self.poll_list: Deque[Napi] = deque()
+        self.queues: dict = {}
+        self.capacity = backlog_capacity
+        self.weight = weight
+        #: True while a net_rx_action chain is scheduled or running.
+        self.net_rx_active = False
+        #: Name of the stage the core last processed (context-switch cost).
+        self.last_stage: str = ""
+
+    def queue_for(self, stage: Stage) -> BacklogNapi:
+        napi = self.queues.get(stage.name)
+        if napi is None:
+            napi = BacklogNapi(capacity=self.capacity, weight=self.weight)
+            napi.label = f"process_backlog[{stage.name}]"
+            self.queues[stage.name] = napi
+        return napi
+
+
+class SoftirqNet:
+    """The machine-wide softirq subsystem for packet reception."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        costs: CostModel,
+        stack: "object",
+        budget: int = 300,
+        napi_weight: int = 64,
+        batch_max: int = 16,
+        backlog_capacity: int = 1000,
+    ) -> None:
+        self.machine = machine
+        self.costs = costs
+        #: The NetworkStack (routing port for stage exits).
+        self.stack = stack
+        self.budget = budget
+        self.batch_max = batch_max
+        self.data = [
+            SoftNetData(backlog_capacity, napi_weight)
+            for _ in range(machine.num_cpus)
+        ]
+        self._ipi_rng = machine.rng.stream("ipi-jitter")
+        #: Calls to raise_net_rx (per-packet granularity in the overlay).
+        self.softirq_raises = 0
+        #: net_rx_action invocations — how often a softirq handler actually
+        #: started on some core. Falcon's pipelining wakes more handler
+        #: instances (one per stage core) than the vanilla overlay's single
+        #: serialized chain.
+        self.handler_runs = 0
+        #: Packets processed per stage name — the paper's "softirqs per
+        #: packet" view (one device softirq execution per packet per stage).
+        self.stage_executions: dict = {}
+
+    # ------------------------------------------------------------------
+    # Hardware interrupt entry
+    # ------------------------------------------------------------------
+    def attach_nic(self, nic: Nic, driver_stage: Stage, napi_weight: int = 64) -> None:
+        """Install this subsystem as the NIC's IRQ handler."""
+        napis = {
+            queue.index: DriverNapi(queue, driver_stage, weight=napi_weight)
+            for queue in nic.queues
+        }
+
+        def irq_handler(queue: RxQueue) -> None:
+            cpu_index = queue.irq_cpu
+            self.machine.interrupts.record(IRQ_HARD, cpu_index)
+            cpu = self.machine.cpus[cpu_index]
+            napi = napis[queue.index]
+            cpu.submit(
+                0,  # HARDIRQ context
+                "pnic_interrupt",
+                self.costs.hardirq.fixed,
+                self.raise_net_rx,
+                cpu_index,
+                napi,
+                cpu_index,
+            )
+
+        nic.irq_handler = irq_handler
+
+    # ------------------------------------------------------------------
+    # Softirq raising (the stage-transition target)
+    # ------------------------------------------------------------------
+    def raise_net_rx(self, cpu_index: int, napi: Napi, from_cpu: int) -> None:
+        """Schedule ``napi`` for polling on ``cpu_index``.
+
+        NET_RX accounting follows the kernel's: ``____napi_schedule``
+        raises (and counts) the softirq only when the NAPI instance was
+        not already on a poll list, so back-to-back packets coalesce. If
+        the raiser is a different core and the target's softirq chain is
+        idle, a RES IPI (with latency) wakes it.
+        """
+        data = self.data[cpu_index]
+        # Demand-side counter: one per raise call (per packet per device).
+        self.softirq_raises += 1
+        if not napi.scheduled:
+            napi.scheduled = True
+            data.poll_list.append(napi)
+            # /proc/softirqs semantics: counted only when newly scheduled.
+            self.machine.interrupts.record(NET_RX, cpu_index)
+        if data.net_rx_active:
+            return
+        data.net_rx_active = True
+        if from_cpu != cpu_index:
+            self.machine.interrupts.record(RES, cpu_index)
+            delay = self.costs.ipi_delay_us + self._ipi_rng.random() * (
+                self.costs.ipi_jitter_us
+            )
+            self.machine.sim.schedule(delay, self._kick, cpu_index)
+        else:
+            self.machine.sim.schedule(
+                self.costs.softirq_entry_us, self._kick, cpu_index
+            )
+
+    def enqueue_backlog(
+        self, target_cpu: int, skb: Skb, stage: Stage, from_cpu: int
+    ) -> None:
+        """``enqueue_to_backlog``: queue a continuation and raise NET_RX.
+
+        Same-CPU enqueues are always admitted — ``process_backlog``
+        splices ``input_pkt_queue`` before processing, so packets a core
+        re-injects into itself find the queue freshly emptied. Cross-CPU
+        enqueues check the backlog limit and drop on overflow.
+        """
+        data = self.data[target_cpu]
+        skb.last_cpu = from_cpu
+        napi = data.queue_for(stage)
+        if from_cpu != target_cpu and len(napi.queue) >= napi.capacity:
+            napi.drops += 1
+            return
+        napi.queue.append((skb, stage))
+        self.raise_net_rx(target_cpu, napi, from_cpu)
+
+    # ------------------------------------------------------------------
+    # net_rx_action
+    # ------------------------------------------------------------------
+    def _kick(self, cpu_index: int) -> None:
+        self.handler_runs += 1
+        cpu = self.machine.cpus[cpu_index]
+        cpu.submit(
+            SOFTIRQ,
+            "net_rx_action",
+            self.costs.softirq_dispatch.fixed,
+            self._poll_round,
+            cpu_index,
+            self.budget,
+        )
+
+    def _poll_round(self, cpu_index: int, budget_left: int) -> None:
+        data = self.data[cpu_index]
+        cpu = self.machine.cpus[cpu_index]
+        while True:
+            if not data.poll_list:
+                data.net_rx_active = False
+                return
+            if budget_left <= 0:
+                # Budget exhausted with work pending: behave like
+                # ksoftirqd — yield and re-raise ourselves.
+                self.machine.interrupts.record(NET_RX, cpu_index)
+                self.softirq_raises += 1
+                self._kick(cpu_index)
+                return
+            napi = data.poll_list.popleft()
+            items = napi.take(min(napi.weight, budget_left, self.batch_max))
+            if not items:
+                napi.scheduled = False
+                napi.on_complete()
+                continue
+            if napi.has_work():
+                # Used its slot but not drained: rotate to the tail so
+                # other NAPI sources on this core get their share.
+                data.poll_list.append(napi)
+            else:
+                napi.scheduled = False
+                napi.on_complete()
+            self._run_batch(cpu, cpu_index, napi, items, budget_left - len(items))
+            return
+
+    def _run_batch(
+        self,
+        cpu,
+        cpu_index: int,
+        napi: Napi,
+        items: List[WorkItem],
+        budget_left: int,
+    ) -> None:
+        locality = self.machine.locality
+        data = self.data[cpu_index]
+        charges: List[Tuple[str, float]] = []
+        outputs: List[Tuple[Skb, Stage]] = []
+        touched_stages = []
+        first_stage = items[0][1]
+        self.stage_executions[first_stage.name] = (
+            self.stage_executions.get(first_stage.name, 0) + len(items)
+        )
+        if first_stage.name != data.last_stage:
+            # The core moves to a different device's softirq context.
+            charges.append(("softirq_switch", self.costs.softirq_switch.fixed))
+            data.last_stage = first_stage.name
+        tracer = getattr(self.stack, "tracer", None)
+        now = self.machine.sim.now
+        for skb, stage in items:
+            if tracer is not None and tracer.wants(skb):
+                tracer.record(skb, now, "exec", stage.name, cpu_index)
+            multiplier = locality.multiplier(skb.last_cpu, cpu_index)
+            item_charges, out = stage.run_item(skb, cpu_index, multiplier)
+            charges.extend(item_charges)
+            if out is not None:
+                outputs.append((out, stage))
+            if stage.flush is not None and stage not in touched_stages:
+                touched_stages.append(stage)
+        # End-of-batch flush (GRO) once the source is drained.
+        if not napi.has_work():
+            for stage in touched_stages:
+                for flushed in stage.flush(cpu_index):
+                    outputs.append((flushed, stage))
+        cpu.submit_multi(
+            SOFTIRQ, charges, self._after_batch, cpu_index, outputs, budget_left
+        )
+
+    def _after_batch(
+        self,
+        cpu_index: int,
+        outputs: List[Tuple[Skb, Stage]],
+        budget_left: int,
+    ) -> None:
+        for skb, stage in outputs:
+            stage.exit.route(skb, cpu_index, self.stack)
+        self._poll_round(cpu_index, budget_left)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def backlog_drops(self) -> int:
+        return sum(
+            napi.drops for data in self.data for napi in data.queues.values()
+        )
+
+    def backlog_depth(self, cpu_index: int) -> int:
+        return sum(
+            len(napi.queue) for napi in self.data[cpu_index].queues.values()
+        )

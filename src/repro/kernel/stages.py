@@ -1,0 +1,158 @@
+"""Packet-processing stages — the unit of softirq pipelining.
+
+The receive path is modelled as a chain of :class:`Stage` objects. A stage
+is exactly the work one softirq invocation performs for a packet at one
+network device: a sequence of :class:`Step` functions executed back to
+back on one core, ended by a :class:`Transition` that hands the packet to
+the next stage's queue (possibly on another core) or delivers it to a
+socket.
+
+This mirrors Figure 8 of the paper: the pNIC stage
+(``mlx5e_napi_poll`` → ``napi_gro_receive`` → RPS), the host-stack stage
+(``process_backlog`` → ... → ``vxlan_rcv`` → ``netif_rx``), the
+bridge/veth stage, and the container stage. Falcon changes *where the
+transitions send packets*, never the stages themselves.
+
+Steps may carry an *effect* — GRO merging, IP defragmentation, VXLAN
+decapsulation — that can consume the packet (merge in progress) or
+replace it (merged super-packet continues down the pipe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Protocol, Tuple
+
+from repro.kernel.costs import FuncCost
+from repro.kernel.skb import Skb
+
+#: An effect runs when the step executes. It may return the same skb, a
+#: replacement (e.g. a merged super-packet), or None (consumed for now).
+Effect = Callable[[Skb, int], Optional[Skb]]
+
+#: A charge is (function label, busy µs) attributed to the executing core.
+Charge = Tuple[str, float]
+
+#: A step's cost function: skb -> µs (costs may depend on size and protocol).
+CostFn = Callable[[Skb], float]
+
+
+def fixed_cost(cost: FuncCost) -> CostFn:
+    """Adapt a :class:`FuncCost` (fixed + per-byte) into a step cost fn."""
+
+    def _cost(skb: Skb) -> float:
+        return cost.cost(skb.size)
+
+    return _cost
+
+
+class Step:
+    """One kernel function in a stage: a cost plus an optional effect."""
+
+    __slots__ = ("name", "cost", "effect")
+
+    def __init__(self, name: str, cost: CostFn, effect: Optional[Effect] = None):
+        self.name = name
+        self.cost = cost
+        self.effect = effect
+
+    @classmethod
+    def simple(
+        cls, name: str, cost: FuncCost, effect: Optional[Effect] = None
+    ) -> "Step":
+        return cls(name, fixed_cost(cost), effect)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Step {self.name}>"
+
+
+class StackPort(Protocol):
+    """The slice of NetworkStack the transitions need (avoids an import cycle)."""
+
+    def enqueue_backlog(
+        self, target_cpu: int, skb: Skb, stage: "Stage", from_cpu: int
+    ) -> None: ...
+
+    def deliver_to_socket(self, skb: Skb, cpu_index: int) -> None: ...
+
+
+class Transition:
+    """Routes a packet out of a stage. Subclasses decide the target."""
+
+    def route(self, skb: Skb, cpu_index: int, stack: StackPort) -> None:
+        raise NotImplementedError
+
+
+class EnqueueTransition(Transition):
+    """Enqueue to a (possibly remote) per-CPU backlog and raise a softirq.
+
+    ``selector(skb, cpu_index) -> target cpu`` encapsulates the steering
+    policy: RPS steering, Falcon's ``get_falcon_cpu``, or the vanilla
+    behaviour of staying on the current core.
+    """
+
+    def __init__(
+        self,
+        next_stage: "Stage",
+        selector: Callable[[Skb, int], int],
+        name: str = "netif_rx",
+    ) -> None:
+        self.next_stage = next_stage
+        self.selector = selector
+        self.name = name
+
+    def route(self, skb: Skb, cpu_index: int, stack: StackPort) -> None:
+        target = self.selector(skb, cpu_index)
+        stack.enqueue_backlog(target, skb, self.next_stage, from_cpu=cpu_index)
+
+
+class SocketDeliver(Transition):
+    """Terminal transition: hand the packet to its destination socket."""
+
+    def route(self, skb: Skb, cpu_index: int, stack: StackPort) -> None:
+        stack.deliver_to_socket(skb, cpu_index)
+
+
+class Stage:
+    """A softirq-granularity processing stage at one network device."""
+
+    def __init__(
+        self,
+        name: str,
+        ifindex: int,
+        steps: List[Step],
+        exit: Transition,
+        flush: Optional[Callable[[int], List[Skb]]] = None,
+    ) -> None:
+        self.name = name
+        #: The device index Falcon mixes into its hash (``dev->ifindex``).
+        self.ifindex = ifindex
+        self.steps = steps
+        self.exit = exit
+        #: Optional end-of-batch hook (GRO flush) returning held packets.
+        self.flush = flush
+
+    def run_item(
+        self, skb: Skb, cpu_index: int, locality_multiplier: float
+    ) -> Tuple[List[Charge], Optional[Skb]]:
+        """Execute the stage's steps for one packet.
+
+        Returns the per-function charges and the packet that should exit
+        the stage (None when an effect consumed it, e.g. a GRO merge in
+        progress). Charges are scaled by the locality multiplier, the cost
+        of touching packet data that was last written by another core.
+        """
+        skb.dev_ifindex = self.ifindex
+        charges: List[Charge] = []
+        current: Optional[Skb] = skb
+        for step in self.steps:
+            cost = step.cost(current) * locality_multiplier
+            if cost > 0.0:
+                charges.append((step.name, cost))
+            if step.effect is not None:
+                current = step.effect(current, cpu_index)
+                if current is None:
+                    break
+        return charges, current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stage {self.name} ifindex={self.ifindex}>"

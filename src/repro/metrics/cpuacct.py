@@ -1,0 +1,135 @@
+"""Per-CPU, per-function busy-time accounting.
+
+This is the simulator's equivalent of ``perf`` + flamegraphs + ``mpstat``:
+every work item executed on a CPU is attributed to a *label* (the kernel
+function name, e.g. ``napi_gro_receive``) and an execution *context*
+(hardirq / softirq / user). The experiment harness snapshots the
+accounting at window boundaries and reports utilization exactly the way
+Figures 5, 6, 9a, 11 and 19 of the paper do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+#: Execution contexts, ordered by dispatch priority (lower = higher prio).
+HARDIRQ = 0
+SOFTIRQ = 1
+USER = 2
+
+CONTEXT_NAMES = {HARDIRQ: "hardirq", SOFTIRQ: "softirq", USER: "user"}
+
+
+class CpuAccounting:
+    """Accumulates busy microseconds keyed by (cpu, label) and (cpu, context)."""
+
+    def __init__(self) -> None:
+        self._by_label: Dict[Tuple[int, str], float] = {}
+        self._by_context: Dict[Tuple[int, int], float] = {}
+        self._busy_by_cpu: Dict[int, float] = {}
+
+    def charge(self, cpu: int, context: int, label: str, duration: float) -> None:
+        """Attribute ``duration`` µs of busy time."""
+        key = (cpu, label)
+        self._by_label[key] = self._by_label.get(key, 0.0) + duration
+        ckey = (cpu, context)
+        self._by_context[ckey] = self._by_context.get(ckey, 0.0) + duration
+        self._busy_by_cpu[cpu] = self._busy_by_cpu.get(cpu, 0.0) + duration
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def busy_us(self, cpu: int) -> float:
+        return self._busy_by_cpu.get(cpu, 0.0)
+
+    def busy_us_label(self, cpu: int, label: str) -> float:
+        return self._by_label.get((cpu, label), 0.0)
+
+    def busy_us_context(self, cpu: int, context: int) -> float:
+        return self._by_context.get((cpu, context), 0.0)
+
+    def total_by_label(self) -> Dict[str, float]:
+        """Busy µs per label summed over all CPUs (flamegraph view)."""
+        totals: Dict[str, float] = {}
+        for (_cpu, label), value in self._by_label.items():
+            totals[label] = totals.get(label, 0.0) + value
+        return totals
+
+    def cpus(self) -> Iterable[int]:
+        return sorted(self._busy_by_cpu)
+
+    def snapshot(self) -> "CpuAccounting":
+        """Deep copy for window-boundary bookkeeping."""
+        copy = CpuAccounting()
+        copy._by_label = dict(self._by_label)
+        copy._by_context = dict(self._by_context)
+        copy._busy_by_cpu = dict(self._busy_by_cpu)
+        return copy
+
+
+class CpuWindow:
+    """Utilization over an explicit window, computed from two snapshots.
+
+    >>> acct = CpuAccounting()
+    >>> acct.charge(0, SOFTIRQ, "ip_rcv", 500.0)
+    >>> window = CpuWindow(acct, start_time=0.0)
+    >>> acct.charge(0, SOFTIRQ, "ip_rcv", 250.0)
+    >>> window.close(1000.0)
+    >>> window.utilization(0)
+    0.25
+    """
+
+    def __init__(self, acct: CpuAccounting, start_time: float) -> None:
+        self._acct = acct
+        self._start = acct.snapshot()
+        self.start_time = start_time
+        self.end_time: float = start_time
+
+    def close(self, end_time: float) -> None:
+        self._end = self._acct.snapshot()
+        self.end_time = end_time
+
+    @property
+    def elapsed_us(self) -> float:
+        return max(self.end_time - self.start_time, 0.0)
+
+    def busy_us(self, cpu: int) -> float:
+        return self._end.busy_us(cpu) - self._start.busy_us(cpu)
+
+    def utilization(self, cpu: int) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.busy_us(cpu) / self.elapsed_us
+
+    def utilization_context(self, cpu: int, context: int) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        delta = self._end.busy_us_context(cpu, context) - self._start.busy_us_context(
+            cpu, context
+        )
+        return delta / self.elapsed_us
+
+    def utilization_label(self, cpu: int, label: str) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        delta = self._end.busy_us_label(cpu, label) - self._start.busy_us_label(
+            cpu, label
+        )
+        return delta / self.elapsed_us
+
+    def label_shares(self) -> Dict[str, float]:
+        """Fraction of total busy time per label (flamegraph shares)."""
+        end_totals = self._end.total_by_label()
+        start_totals = self._start.total_by_label()
+        deltas = {
+            label: end_totals.get(label, 0.0) - start_totals.get(label, 0.0)
+            for label in end_totals
+        }
+        total = sum(value for value in deltas.values() if value > 0)
+        if total <= 0:
+            return {}
+        return {
+            label: value / total
+            for label, value in sorted(deltas.items(), key=lambda kv: -kv[1])
+            if value > 0
+        }

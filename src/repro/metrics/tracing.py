@@ -1,0 +1,116 @@
+"""Per-packet stage tracing — the simulator's `perf`/`bpftrace`.
+
+A :class:`PacketTracer` attached to a stack records, for a sample of
+messages, every pipeline event: stage executions (with core), queue
+hops, and socket delivery. From those it derives the per-stage latency
+breakdown the paper's §3 analysis was built from — where a packet's
+time actually goes (service vs queueing per device).
+
+Tracing is off unless a tracer is attached, and sampled (every Nth
+message of each flow) so it can stay on during long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded pipeline event for a traced message."""
+
+    time_us: float
+    kind: str  # "enqueue" | "exec" | "deliver"
+    stage: str
+    cpu: int
+
+
+@dataclass
+class MessageTrace:
+    flow_id: int
+    msg_id: int
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return any(event.kind == "deliver" for event in self.events)
+
+    def total_us(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.events[-1].time_us - self.events[0].time_us
+
+    def stage_spans(self) -> List[Tuple[str, float]]:
+        """(segment label, elapsed µs) between consecutive events."""
+        spans = []
+        for before, after in zip(self.events, self.events[1:]):
+            label = f"{before.kind}:{before.stage}->{after.kind}:{after.stage}"
+            spans.append((label, after.time_us - before.time_us))
+        return spans
+
+
+class PacketTracer:
+    """Samples messages and aggregates their stage timings."""
+
+    def __init__(self, sample_every: int = 50, max_messages: int = 2000) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.max_messages = max_messages
+        self._traces: Dict[Tuple[int, int], MessageTrace] = {}
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (called by the stack when a tracer is attached)
+    # ------------------------------------------------------------------
+    def wants(self, skb) -> bool:
+        if skb.msg_id % self.sample_every:
+            return False
+        if (skb.flow.flow_id, skb.msg_id) in self._traces:
+            return True
+        return len(self._traces) < self.max_messages
+
+    def record(self, skb, now: float, kind: str, stage: str, cpu: int) -> None:
+        key = (skb.flow.flow_id, skb.msg_id)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = MessageTrace(skb.flow.flow_id, skb.msg_id)
+            self._traces[key] = trace
+        trace.events.append(TraceEvent(now, kind, stage, cpu))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def traces(self, complete_only: bool = True) -> List[MessageTrace]:
+        values = list(self._traces.values())
+        if complete_only:
+            values = [trace for trace in values if trace.complete]
+        return values
+
+    def stage_breakdown(self) -> Dict[str, Tuple[float, int]]:
+        """Mean elapsed µs (and count) per pipeline segment."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for trace in self.traces():
+            for label, elapsed in trace.stage_spans():
+                sums[label] = sums.get(label, 0.0) + elapsed
+                counts[label] = counts.get(label, 0) + 1
+        return {
+            label: (sums[label] / counts[label], counts[label])
+            for label in sums
+        }
+
+    def mean_pipeline_us(self) -> float:
+        traces = self.traces()
+        if not traces:
+            return 0.0
+        return sum(trace.total_us() for trace in traces) / len(traces)
+
+    def cores_seen(self) -> Dict[str, set]:
+        """Which cores executed each stage across traced messages."""
+        cores: Dict[str, set] = {}
+        for trace in self.traces(complete_only=False):
+            for event in trace.events:
+                if event.kind == "exec":
+                    cores.setdefault(event.stage, set()).add(event.cpu)
+        return cores

@@ -1,0 +1,63 @@
+"""The overlay network object (Docker's overlay driver analogue).
+
+Ties hosts, containers and the KV store together: containers join the
+network, their private-IP → host-IP mapping is published, and senders
+resolve destinations through it when encapsulating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.kernel.costs import VXLAN_OVERHEAD
+from repro.overlay.container import Container
+from repro.overlay.host import Host
+from repro.overlay.kvstore import KvStore
+from repro.sim.errors import TopologyError
+
+
+class OverlayNetwork:
+    """A named overlay network spanning multiple hosts."""
+
+    def __init__(self, name: str = "overlay0", vni: int = 4096) -> None:
+        self.name = name
+        #: VXLAN network identifier.
+        self.vni = vni
+        self.kvstore = KvStore()
+        self._members: Dict[int, Container] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(self, container: Container) -> None:
+        if container.private_ip in self._members:
+            raise TopologyError(
+                f"IP {container.private_ip} already joined {self.name}"
+            )
+        self._members[container.private_ip] = container
+        self.kvstore.publish(container.private_ip, container.host.host_ip)
+
+    def leave(self, container: Container) -> None:
+        self._members.pop(container.private_ip, None)
+        self.kvstore.withdraw(container.private_ip)
+
+    def members(self) -> List[Container]:
+        return list(self._members.values())
+
+    # ------------------------------------------------------------------
+    # Data-plane helpers
+    # ------------------------------------------------------------------
+    def resolve_host(self, container_ip: int) -> int:
+        """Encap-time lookup: which host carries this private IP?"""
+        return self.kvstore.resolve(container_ip)
+
+    def container_at(self, container_ip: int) -> Container:
+        member = self._members.get(container_ip)
+        if member is None:
+            raise TopologyError(f"no container with IP {container_ip} in {self.name}")
+        return member
+
+    @staticmethod
+    def encap_overhead() -> int:
+        """Bytes VXLAN encapsulation adds to every inner packet."""
+        return VXLAN_OVERHEAD

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+The :mod:`repro.sim` package provides the foundation everything else in the
+reproduction is built on: a deterministic event-driven simulator
+(:class:`~repro.sim.engine.Simulator`), named deterministic random-number
+streams (:class:`~repro.sim.rng.RngRegistry`), and measurement primitives
+(:mod:`repro.sim.stats`).
+
+Time is measured in **microseconds** throughout the code base; the helper
+constants :data:`~repro.sim.clock.US`, :data:`~repro.sim.clock.MS` and
+:data:`~repro.sim.clock.SEC` make conversions explicit.
+"""
+
+from repro.sim.clock import MS, NS, SEC, US
+from repro.sim.engine import Event, Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    LatencyRecorder,
+    RateMeter,
+    TimeWeightedValue,
+    WelfordAccumulator,
+)
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "RngRegistry",
+    "Counter",
+    "Histogram",
+    "LatencyRecorder",
+    "RateMeter",
+    "TimeWeightedValue",
+    "WelfordAccumulator",
+]

@@ -1,0 +1,29 @@
+"""Time units for the simulator.
+
+The canonical simulation time unit is the **microsecond**. All service
+times, delays and timestamps in the code base are expressed in
+microseconds; the constants below exist so call sites can spell out the
+unit they mean (``10 * MS`` reads better than ``10000.0``).
+"""
+
+#: One nanosecond expressed in simulation time units (microseconds).
+NS = 1e-3
+
+#: One microsecond — the canonical unit.
+US = 1.0
+
+#: One millisecond.
+MS = 1e3
+
+#: One second.
+SEC = 1e6
+
+
+def us_to_seconds(t_us: float) -> float:
+    """Convert a simulation timestamp (µs) to seconds."""
+    return t_us / SEC
+
+
+def seconds_to_us(t_s: float) -> float:
+    """Convert seconds to simulation time units (µs)."""
+    return t_s * SEC

@@ -1,0 +1,172 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar-queue simulator: events are ``(time,
+sequence)``-ordered callbacks kept in a binary heap. Determinism matters —
+two runs with the same seed must produce identical results, so ties in
+event time are broken by insertion order, never by object identity.
+
+Design notes
+------------
+* Events are lightweight ``__slots__`` objects so that per-packet work
+  (which can mean hundreds of thousands of events per run) stays cheap.
+* Cancellation is lazy: a cancelled event stays in the heap and is skipped
+  when popped. This keeps :meth:`Simulator.cancel` O(1).
+* The simulator never advances time backwards; scheduling with a negative
+  delay raises :class:`~repro.sim.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be passed
+    to :meth:`Simulator.cancel`. They order by ``(time, seq)`` which is what
+    the heap requires.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f}us #{self.seq} {name}{state}>"
+
+
+class Simulator:
+    """Event loop with a microsecond clock.
+
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> _ = sim.schedule(5.0, hits.append, "a")
+    >>> _ = sim.schedule(1.0, hits.append, "b")
+    >>> sim.run()
+    >>> hits
+    ['b', 'a']
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._halted: bool = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events in time order.
+
+        Args:
+            until: stop once the clock would pass this timestamp. Events at
+                exactly ``until`` are still processed; the clock is left at
+                ``until`` if the queue ran dry earlier.
+            max_events: safety valve — stop after this many events.
+        """
+        if self._halted:
+            raise SimulationError("simulator has been halted")
+        processed = 0
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            heapq.heappop(heap)
+            self.now = event.time
+            event.fn(*event.args)
+            processed += 1
+            if self._halted:
+                break
+        self.events_processed += processed
+        if until is not None and self.now < until and not self._halted:
+            self.now = until
+
+    def step(self) -> bool:
+        """Process a single event. Returns False when the queue is empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def halt(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._halted = True
+
+    def resume(self) -> None:
+        """Clear a previous :meth:`halt` so that :meth:`run` works again."""
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None when idle."""
+        for event in sorted(self._heap)[:16]:
+            if not event.cancelled:
+                return event.time
+        live = [e.time for e in self._heap if not e.cancelled]
+        return min(live) if live else None

@@ -1,0 +1,264 @@
+"""Measurement primitives used by the metrics layer.
+
+These are deliberately dependency-free (no numpy) so that the hot paths of
+the simulator can record samples cheaply; the analysis layer may convert
+to numpy arrays afterwards.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named bag of monotonically increasing integer counters.
+
+    Mirrors ``/proc/interrupts``-style accounting: callers bump named
+    counters and later snapshot/diff them over a measurement window.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since ``earlier`` (a previous :meth:`snapshot`)."""
+        result: Dict[str, int] = {}
+        for name, value in self._counts.items():
+            delta = value - earlier.get(name, 0)
+            if delta:
+                result[name] = delta
+        return result
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return self._counts.items()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+class WelfordAccumulator:
+    """Streaming mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class LatencyRecorder:
+    """Stores raw latency samples and answers percentile queries.
+
+    Samples are kept in full (they are floats; even a million samples is
+    only ~8 MB) so percentiles are exact, matching how sockperf reports
+    its latency spectrum.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._welford = WelfordAccumulator()
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = None
+        self._welford.add(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self._welford.mean
+
+    @property
+    def stdev(self) -> float:
+        return self._welford.stdev
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile using the nearest-rank method.
+
+        ``pct`` is in [0, 100]. Returns 0.0 when no samples were recorded.
+        """
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        if pct == 0.0:
+            return self._sorted[0]
+        rank = math.ceil(pct / 100.0 * len(self._sorted))
+        return self._sorted[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """The percentile set the paper reports (avg, p50, p90, p99, p99.9)."""
+        return {
+            "count": float(self.count),
+            "avg": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p99.9": self.percentile(99.9),
+            "max": self.percentile(100),
+        }
+
+
+class RateMeter:
+    """Counts discrete events inside an explicit measurement window.
+
+    The experiment harness opens the window after warm-up and closes it
+    before drain, so transient start-up behaviour never pollutes the
+    reported packet rates.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.bytes = 0
+        self._window_start: Optional[float] = None
+        self._window_end: Optional[float] = None
+        self._open = False
+
+    def open_window(self, now: float) -> None:
+        self._window_start = now
+        self._open = True
+        self.count = 0
+        self.bytes = 0
+
+    def close_window(self, now: float) -> None:
+        self._window_end = now
+        self._open = False
+
+    def record(self, nbytes: int = 0) -> None:
+        if self._open:
+            self.count += 1
+            self.bytes += nbytes
+
+    @property
+    def window_us(self) -> float:
+        if self._window_start is None or self._window_end is None:
+            return 0.0
+        return self._window_end - self._window_start
+
+    def rate_per_sec(self) -> float:
+        """Events per second over the closed window."""
+        window = self.window_us
+        if window <= 0:
+            return 0.0
+        return self.count / window * 1e6
+
+    def gbps(self) -> float:
+        """Goodput in gigabits per second over the closed window."""
+        window = self.window_us
+        if window <= 0:
+            return 0.0
+        return self.bytes * 8 / (window * 1e-6) / 1e9
+
+
+class TimeWeightedValue:
+    """Integral of a piecewise-constant signal (e.g. queue depth, busy flag).
+
+    ``update`` must be called with non-decreasing timestamps; the average
+    over a window is the integral divided by elapsed time.
+    """
+
+    def __init__(self, now: float = 0.0, value: float = 0.0) -> None:
+        self._last_time = now
+        self._value = value
+        self._integral = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, now: float, value: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time went backwards in TimeWeightedValue.update")
+        self._integral += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+
+    def integral_at(self, now: float) -> float:
+        """Integral up to ``now`` without mutating state."""
+        return self._integral + self._value * (now - self._last_time)
+
+    def mean(self, start: float, end: float, start_integral: float = 0.0) -> float:
+        """Average value between ``start`` and ``end``.
+
+        ``start_integral`` should be ``integral_at(start)`` captured when
+        the window opened.
+        """
+        if end <= start:
+            return 0.0
+        return (self.integral_at(end) - start_integral) / (end - start)
+
+
+class Histogram:
+    """Log-scale latency histogram with fixed bucket boundaries.
+
+    Used for cheap high-volume recording where exact percentiles are not
+    needed (e.g. per-device queueing delays).
+    """
+
+    def __init__(self, bounds: Optional[List[float]] = None) -> None:
+        if bounds is None:
+            # 1µs .. ~1s in half-decade steps.
+            bounds = [10 ** (exp / 2.0) for exp in range(0, 13)]
+        if sorted(bounds) != list(bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.total = 0
+
+    def record(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        self.buckets[index] += 1
+        self.total += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (upper bound of the containing bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        running = 0
+        for index, count in enumerate(self.buckets):
+            running += count
+            if running >= target:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                return self.bounds[index]
+        return self.bounds[-1]

@@ -1,0 +1,21 @@
+"""Workload generators and benchmark applications.
+
+* :mod:`~repro.workloads.traffic`   — arrival processes (CBR, Poisson,
+  bursty hotspots).
+* :mod:`~repro.workloads.flows`     — UDP open-loop and TCP closed-loop
+  message senders over a simulated link.
+* :mod:`~repro.workloads.sockperf`  — the sockperf-style micro-benchmark
+  harness (stress, fixed-rate, latency) and the top-level
+  :class:`~repro.workloads.sockperf.Experiment` API.
+* :mod:`~repro.workloads.multiflow` — multi-flow / multi-container
+  harnesses for Figures 13–16.
+* :mod:`~repro.workloads.memcached` — the CloudSuite data-caching model
+  (Figure 18).
+* :mod:`~repro.workloads.webserving` — the CloudSuite web-serving model
+  (Figure 17).
+"""
+
+from repro.workloads.flows import TcpSender, UdpSender
+from repro.workloads.sockperf import Experiment, Testbed
+
+__all__ = ["Experiment", "Testbed", "TcpSender", "UdpSender"]

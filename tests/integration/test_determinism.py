@@ -1,0 +1,62 @@
+"""Determinism: a run is a pure function of (code, seed).
+
+Reproducibility underpins both the figure harness (results/ must be
+regenerable) and the paper's "consistent across runs" claims; any use of
+unseeded randomness or dict-ordering luck breaks it.
+"""
+
+import pytest
+
+from repro.core.config import FalconConfig
+from repro.workloads.sockperf import Experiment
+
+FAST = dict(duration_ms=6.0, warmup_ms=3.0)
+
+
+def run_once(seed=0):
+    exp = Experiment(mode="overlay", falcon=FalconConfig(), seed=seed)
+    return exp.run_udp_stress(16, **FAST)
+
+
+def fingerprint(result):
+    return (
+        result.messages_delivered,
+        round(result.message_rate_pps, 6),
+        round(result.latency["avg"], 9),
+        round(result.latency["p99.9"], 9),
+        tuple(round(u, 9) for u in result.cpu_util),
+        tuple(sorted(result.interrupts.items())),
+        result.softirq_raises,
+        tuple(sorted(result.drops.items())),
+    )
+
+
+def test_same_seed_same_everything():
+    assert fingerprint(run_once(0)) == fingerprint(run_once(0))
+
+
+def test_different_seed_different_flows():
+    first = run_once(0)
+    second = run_once(7)
+    # Same physics, different flow hashes: rates are close but the exact
+    # event interleavings (and so latencies) differ.
+    assert first.message_rate_pps == pytest.approx(
+        second.message_rate_pps, rel=0.25
+    )
+
+
+def test_tcp_run_deterministic():
+    def run():
+        exp = Experiment(mode="overlay", falcon=FalconConfig(split_gro=True))
+        return exp.run_tcp_stream(4096, window_msgs=16, **FAST)
+
+    assert fingerprint(run()) == fingerprint(run())
+
+
+def test_memcached_deterministic():
+    from repro.workloads.memcached import run_memcached
+
+    first = run_memcached(2, duration_ms=5, warmup_ms=3)
+    second = run_memcached(2, duration_ms=5, warmup_ms=3)
+    assert first.requests_completed == second.requests_completed
+    assert first.latency["p99"] == second.latency["p99"]

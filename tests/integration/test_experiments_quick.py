@@ -1,0 +1,41 @@
+"""Smoke tests: every figure experiment runs end to end (quick mode).
+
+The benchmarks assert each figure's headline shape on full sweeps; these
+tests guarantee every driver stays runnable and structurally sound (one
+table minimum, non-empty series) so a refactor can't silently break a
+figure.
+"""
+
+import importlib
+
+import pytest
+
+FIGURES = [
+    "fig02_motivation",
+    "fig04_interrupts",
+    "fig05_serialization",
+    "fig06_flamegraph",
+    "fig09_splitting",
+    "fig10_udp_stress",
+    "fig11_cpu_util",
+    "fig12_latency",
+    "fig13_multiflow",
+    "fig14_multicontainer",
+    "fig15_threshold",
+    "fig16_adaptability",
+    "fig17_webserving",
+    "fig18_datacaching",
+    "fig19_overhead",
+]
+
+
+@pytest.mark.parametrize("name", FIGURES)
+def test_figure_driver_runs(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    out = module.run(quick=True)
+    assert out.tables, name
+    assert out.series, name
+    rendered = out.render()
+    assert out.figure in rendered
+    for table in out.tables:
+        assert table.rows, f"{name}: empty table {table.title!r}"

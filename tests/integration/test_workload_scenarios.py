@@ -1,0 +1,100 @@
+"""Integration tests for the workload scenarios (multiflow, apps)."""
+
+import pytest
+
+from repro.core.config import FalconConfig
+from repro.workloads.multiflow import (
+    run_hotspot,
+    run_multicontainer,
+    run_multiflow_tcp,
+    run_multiflow_udp,
+)
+from repro.workloads.sockperf import Experiment, Testbed
+
+FAST = dict(duration_ms=6.0, warmup_ms=3.0)
+
+
+class TestMultiflow:
+    def test_udp_flows_all_deliver(self):
+        result = run_multiflow_udp(4, message_size=64, rate_per_flow=20_000, **FAST)
+        expected = 4 * 20_000 * FAST["duration_ms"] * 1e-3
+        assert result.messages_delivered == pytest.approx(expected, rel=0.1)
+
+    def test_tcp_flows_all_deliver(self):
+        result = run_multiflow_tcp(3, message_size=4096, window_msgs=4, **FAST)
+        assert result.messages_delivered > 0
+        assert result.reordered_messages == 0
+
+    def test_falcon_improves_colliding_flows(self):
+        """With more saturating flows than steering cores, Falcon must
+        beat the vanilla overlay (the Figure 13 situation)."""
+        kwargs = dict(flows=4, message_size=16, rps_cpus=[1], **FAST)
+        con = run_multiflow_udp(**kwargs)
+        falcon = run_multiflow_udp(
+            falcon=FalconConfig(cpus=[3, 4, 5, 6]), **kwargs
+        )
+        assert falcon.message_rate_pps > 1.1 * con.message_rate_pps
+
+    def test_multicontainer_creates_one_container_per_flow(self):
+        result = run_multicontainer(5, rate_per_flow=10_000, **FAST)
+        assert result.messages_delivered > 0
+
+    def test_multicontainer_requires_overlay(self):
+        # Containers imply overlay mode; the testbed enforces it.
+        bed = Testbed(mode="host")
+        with pytest.raises(ValueError):
+            bed.new_container("x")
+
+    def test_hotspot_policies_comparable(self):
+        static = run_hotspot("static", burst_at_ms=2.0, **FAST)
+        dynamic = run_hotspot("two_choice", burst_at_ms=2.0, **FAST)
+        assert static.messages_delivered > 0
+        assert dynamic.messages_delivered > 0
+        # Dynamic never does materially worse.
+        assert dynamic.message_rate_pps >= 0.95 * static.message_rate_pps
+
+
+class TestExperimentApi:
+    def test_stress_returns_complete_result(self):
+        result = Experiment(mode="overlay").run_udp_stress(16, **FAST)
+        assert result.mode == "overlay"
+        assert result.message_rate_pps > 0
+        assert len(result.cpu_util) == 20
+        assert result.latency["p99"] >= result.latency["p50"]
+        assert result.softirq_raises > 0
+
+    def test_mode_label_includes_falcon(self):
+        result = Experiment(
+            mode="overlay", falcon=FalconConfig()
+        ).run_udp_stress(16, **FAST)
+        assert result.mode == "overlay+falcon"
+
+    def test_plateau_not_above_stress_for_small_messages(self):
+        exp = Experiment(mode="host")
+        stress = exp.run_udp_stress(64, **FAST)
+        plateau = exp.run_udp_plateau(
+            64, duration_ms=6.0, warmup_ms=3.0, iterations=3
+        )
+        assert plateau.message_rate_pps <= stress.offered_pps * 1.05
+
+    def test_kernel_5_4_runs(self):
+        result = Experiment(mode="overlay", kernel="5.4").run_udp_stress(16, **FAST)
+        assert result.message_rate_pps > 0
+
+    def test_seed_changes_flow_placement(self):
+        rates = set()
+        for seed in (0, 1):
+            result = Experiment(mode="overlay", seed=seed).run_udp_stress(
+                16, **FAST
+            )
+            rates.add(round(result.message_rate_pps))
+        # Different seeds draw different flow hashes; results are close
+        # but generally not byte-identical.
+        assert len(rates) >= 1  # sanity; strict inequality is hash luck
+
+    def test_gro_disabled_still_works(self):
+        result = Experiment(mode="overlay", gro=False).run_tcp_stream(
+            4096, window_msgs=8, **FAST
+        )
+        assert result.messages_delivered > 0
+        assert result.reordered_messages == 0

@@ -1,0 +1,66 @@
+"""Property-based tests for hashing and CPU selection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.balancing import first_choice_cpu, second_choice_cpu
+from repro.kernel.hashing import flow_hash, hash_32
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u16 = st.integers(min_value=0, max_value=2**16 - 1)
+ip = st.integers(min_value=1, max_value=2**32 - 1)
+
+
+@given(u32, st.integers(min_value=1, max_value=32))
+def test_hash_32_in_range(value, bits):
+    assert 0 <= hash_32(value, bits) < (1 << bits)
+
+
+@given(u32)
+def test_hash_32_deterministic(value):
+    assert hash_32(value) == hash_32(value)
+
+
+@given(ip, ip, st.sampled_from([6, 17]), u16, u16)
+def test_flow_hash_stable_and_nonzero(src, dst, proto, sport, dport):
+    first = flow_hash(src, dst, proto, sport, dport)
+    assert first == flow_hash(src, dst, proto, sport, dport)
+    assert first != 0
+    assert 0 < first < 2**32
+
+
+@given(u32, st.integers(min_value=2, max_value=64))
+def test_first_choice_in_cpu_set(skb_hash, ifindex):
+    cpus = [3, 4, 5, 6, 7]
+    assert first_choice_cpu(cpus, skb_hash, ifindex) in cpus
+    assert second_choice_cpu(cpus, skb_hash, ifindex) in cpus
+
+
+@given(u32)
+def test_choices_sticky_per_flow_and_device(skb_hash):
+    """The no-out-of-order guarantee rests on this: repeated selection
+    for the same (flow, device) must return the same core."""
+    cpus = [3, 4, 5, 6]
+    for ifindex in (3, 5):
+        picks = {first_choice_cpu(cpus, skb_hash, ifindex) for _ in range(5)}
+        assert len(picks) == 1
+
+
+@given(st.lists(u32, min_size=100, max_size=100, unique=True))
+def test_second_choice_escapes_first_most_of_the_time(hashes):
+    """Algorithm 1's second choice is useless if it maps back to the
+    first core; across many flows it must usually differ."""
+    cpus = [3, 4, 5, 6]
+    differing = sum(
+        1
+        for skb_hash in hashes
+        if first_choice_cpu(cpus, skb_hash, 5) != second_choice_cpu(cpus, skb_hash, 5)
+    )
+    assert differing >= 40
+
+
+@given(st.lists(u32, min_size=200, max_size=200, unique=True))
+def test_first_choice_spreads_over_cpu_set(hashes):
+    cpus = [3, 4, 5, 6]
+    picks = {first_choice_cpu(cpus, skb_hash, 3) for skb_hash in hashes}
+    assert len(picks) == len(cpus)

@@ -1,0 +1,75 @@
+"""Unit tests for the analytical pipeline model internals."""
+
+import pytest
+
+from repro.analysis.pipeline import PipelineModel, StageCost
+from repro.kernel.costs import CostModel
+from repro.kernel.skb import PROTO_TCP, PROTO_UDP
+
+
+class TestStageCost:
+    def test_capacity(self):
+        assert StageCost("x", 2.0).capacity_pps() == pytest.approx(500_000.0)
+
+    def test_zero_service_is_infinite(self):
+        assert StageCost("x", 0.0).capacity_pps() == float("inf")
+
+
+class TestStations:
+    def test_host_station_names(self):
+        model = PipelineModel(CostModel(), 16, overlay=False)
+        names = [stage.name for stage in model.stations("host")]
+        assert names == ["pnic", "hoststack", "app_copy"]
+
+    def test_overlay_stacks_three_stages_on_one_station(self):
+        model = PipelineModel(CostModel(), 16, overlay=True)
+        stations = {s.name: s for s in model.stations("overlay")}
+        falcon_stations = {s.name: s for s in model.stations("falcon")}
+        stacked = stations["rps_core(stacked)"].service_us
+        unstacked = (
+            falcon_stations["rps_core"].service_us
+            + falcon_stations["vxlan_core"].service_us
+            + falcon_stations["container_core"].service_us
+        )
+        # Stacking serializes the same work on one core (plus switches).
+        assert stacked == pytest.approx(unstacked, rel=0.1)
+
+    def test_unknown_mode_rejected(self):
+        model = PipelineModel(CostModel(), 16)
+        with pytest.raises(ValueError):
+            model.stations("macvlan")
+
+    def test_tcp_large_message_driver_heaviest_on_host(self):
+        model = PipelineModel(
+            CostModel(), 4096, proto=PROTO_TCP, overlay=False
+        )
+        assert model.bottleneck("host").name == "pnic"  # the Fig 9a story
+
+    def test_fragmented_udp_scales_per_fragment(self):
+        small = PipelineModel(CostModel(), 1000, overlay=True)
+        large = PipelineModel(CostModel(), 60_000, overlay=True)
+        assert len(large.fragments) > 40
+        assert large.driver_stage().service_us > 30 * small.driver_stage().service_us
+
+    def test_latency_monotone_in_rate(self):
+        model = PipelineModel(CostModel(), 16, overlay=True)
+        capacity = model.capacity_pps("overlay")
+        low = model.latency_us("overlay", 0.2 * capacity)
+        high = model.latency_us("overlay", 0.9 * capacity)
+        assert high > low > 0
+
+    def test_latency_infinite_beyond_capacity(self):
+        model = PipelineModel(CostModel(), 16, overlay=True)
+        capacity = model.capacity_pps("overlay")
+        assert model.latency_us("overlay", 1.1 * capacity) == float("inf")
+
+    def test_kernel_54_shifts_capacities(self):
+        old = PipelineModel(CostModel.kernel_4_19(), 16, overlay=False)
+        new = PipelineModel(CostModel.kernel_5_4(), 16, overlay=False)
+        # Cheaper skb_alloc: the driver station gets faster on 5.4...
+        assert new.driver_stage().service_us < old.driver_stage().service_us
+        # ...while backlog-heavy stations regress.
+        assert (
+            new._tail_stage("hoststack").service_us
+            > old._tail_stage("hoststack").service_us
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_stress_defaults(self):
+        args = build_parser().parse_args(["stress"])
+        assert args.mode == "overlay"
+        assert args.size == 16
+        assert not args.falcon
+
+    def test_fixed_requires_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fixed"])
+
+    def test_falcon_flags(self):
+        args = build_parser().parse_args(
+            ["stress", "--falcon", "--falcon-cpus", "2,3", "--policy", "static"]
+        )
+        assert args.falcon
+        assert args.falcon_cpus == "2,3"
+        assert args.policy == "static"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_stress_runs(self, capsys):
+        code = main(
+            ["stress", "--duration-ms", "4", "--warmup-ms", "2", "--clients", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "message rate" in out
+        assert "busy cores" in out
+
+    def test_fixed_runs_with_falcon(self, capsys):
+        code = main(
+            [
+                "fixed", "--rate", "50000", "--falcon",
+                "--duration-ms", "4", "--warmup-ms", "2",
+            ]
+        )
+        assert code == 0
+        assert "overlay+falcon" in capsys.readouterr().out
+
+    def test_tcp_runs(self, capsys):
+        code = main(
+            ["tcp", "--size", "4096", "--duration-ms", "4", "--warmup-ms", "2"]
+        )
+        assert code == 0
+        assert "Gbps" in capsys.readouterr().out
+
+    def test_latency_compares_modes(self, capsys):
+        code = main(
+            ["latency", "--rate", "50000", "--duration-ms", "4", "--warmup-ms", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "host" in out and "overlay+falcon" in out
+
+    def test_figures_quick_subset(self, tmp_path, capsys):
+        code = main(
+            [
+                "figures", "--quick", "--out", str(tmp_path),
+                "--only", "fig04_interrupts",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "fig04_interrupts.txt").exists()

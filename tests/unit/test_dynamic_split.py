@@ -1,0 +1,98 @@
+"""Unit tests for dynamic GRO splitting (the Section 6.4 future work)."""
+
+import pytest
+
+from repro.core.config import FalconConfig
+from repro.core.dynamic import (
+    DynamicSplitController,
+    SplitSwitch,
+    attach_dynamic_splitting,
+)
+from repro.hw.cpu import SOFTIRQ
+from repro.hw.topology import Machine
+from repro.sim.engine import Simulator
+from repro.workloads.sockperf import Testbed
+
+
+def make_controller(**kwargs):
+    sim = Simulator()
+    machine = Machine(sim, num_cpus=2)
+    switch = SplitSwitch()
+    controller = DynamicSplitController(machine, switch, sample_us=100.0, **kwargs)
+    controller.start()
+    return sim, machine, switch, controller
+
+
+class TestController:
+    def test_activates_after_sustained_saturation(self):
+        sim, machine, switch, controller = make_controller(patience=3)
+        machine.cpus[0].load = 0.99
+        sim.run(until=250.0)
+        assert not switch.active  # only 2 samples so far
+        sim.run(until=350.0)
+        assert switch.active
+        assert controller.activations == 1
+
+    def test_transient_spike_ignored(self):
+        sim, machine, switch, controller = make_controller(patience=3)
+        machine.cpus[0].load = 0.99
+        sim.run(until=250.0)
+        machine.cpus[0].load = 0.30  # spike over before patience ran out
+        sim.run(until=1000.0)
+        assert not switch.active
+        assert controller.activations == 0
+
+    def test_deactivates_with_hysteresis(self):
+        sim, machine, switch, controller = make_controller(patience=1)
+        machine.cpus[0].load = 0.99
+        sim.run(until=150.0)
+        assert switch.active
+        # Load between release and activate: stays on (hysteresis).
+        machine.cpus[0].load = 0.75
+        sim.run(until=400.0)
+        assert switch.active
+        machine.cpus[0].load = 0.40
+        sim.run(until=600.0)
+        assert not switch.active
+        assert controller.deactivations == 1
+
+    def test_threshold_validation(self):
+        sim = Simulator()
+        machine = Machine(sim, num_cpus=1)
+        with pytest.raises(ValueError):
+            DynamicSplitController(
+                machine, SplitSwitch(), activate_threshold=0.5, release_threshold=0.6
+            )
+        with pytest.raises(ValueError):
+            DynamicSplitController(machine, SplitSwitch(), patience=0)
+
+
+class TestAttach:
+    def test_requires_split_stack(self):
+        bed = Testbed(mode="overlay", falcon=FalconConfig(split_gro=False))
+        with pytest.raises(ValueError):
+            attach_dynamic_splitting(bed.stack)
+
+    def test_split_only_moves_when_active(self):
+        bed = Testbed(mode="host", falcon=FalconConfig(cpus=[3, 4], split_gro=True))
+        controller = attach_dynamic_splitting(bed.stack, patience=1)
+        bed.add_tcp_flow(4096, window_msgs=64)
+        bed.run(warmup_ms=4, measure_ms=10)
+        acct = bed.host.machine.acct
+        # The workload saturates the driver core, so the controller must
+        # have activated and moved GRO off core 0 at some point.
+        assert controller.activations >= 1
+        moved = sum(
+            acct.busy_us_label(cpu, "napi_gro_receive") for cpu in (3, 4)
+        )
+        assert moved > 0
+
+    def test_light_load_never_splits(self):
+        bed = Testbed(mode="host", falcon=FalconConfig(cpus=[3, 4], split_gro=True))
+        controller = attach_dynamic_splitting(bed.stack, patience=1)
+        bed.add_udp_flow(16, clients=1, rate_pps=20_000)
+        bed.run(warmup_ms=4, measure_ms=10)
+        assert controller.activations == 0
+        acct = bed.host.machine.acct
+        for cpu in (3, 4):
+            assert acct.busy_us_label(cpu, "napi_gro_receive") == 0

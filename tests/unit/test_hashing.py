@@ -1,0 +1,72 @@
+"""Unit tests for kernel-style hashing — the heart of Falcon's steering."""
+
+from repro.kernel.hashing import GOLDEN_RATIO_32, flow_hash, hash_32
+
+
+def test_hash_32_matches_kernel_definition():
+    value = 12345
+    expected = ((value * GOLDEN_RATIO_32) & 0xFFFFFFFF) >> 0
+    assert hash_32(value) == expected
+
+
+def test_hash_32_bits_parameter():
+    value = 0xDEADBEEF
+    full = hash_32(value, 32)
+    assert hash_32(value, 8) == full >> 24
+    assert hash_32(value, 16) == full >> 16
+
+
+def test_hash_32_range():
+    for bits in (1, 8, 16, 32):
+        for value in (0, 1, 0xFFFFFFFF, 123456789):
+            assert 0 <= hash_32(value, bits) < (1 << bits)
+
+
+def test_hash_32_bits_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        hash_32(1, 0)
+    with pytest.raises(ValueError):
+        hash_32(1, 33)
+
+
+def test_flow_hash_deterministic():
+    assert flow_hash(1, 2, 17, 1000, 5001) == flow_hash(1, 2, 17, 1000, 5001)
+
+
+def test_flow_hash_sensitive_to_every_field():
+    base = flow_hash(1, 2, 17, 1000, 5001)
+    assert flow_hash(9, 2, 17, 1000, 5001) != base
+    assert flow_hash(1, 9, 17, 1000, 5001) != base
+    assert flow_hash(1, 2, 6, 1000, 5001) != base
+    assert flow_hash(1, 2, 17, 1001, 5001) != base
+    assert flow_hash(1, 2, 17, 1000, 5002) != base
+
+
+def test_flow_hash_never_zero():
+    # The kernel reserves hash 0 for "not computed".
+    for sport in range(256):
+        assert flow_hash(1, 2, 17, sport, 5001) != 0
+
+
+def test_device_mixing_separates_stages():
+    """The core property Falcon relies on: same flow + different ifindex
+    must (almost always) produce different CPU choices."""
+    fhash = flow_hash(10, 20, 17, 4242, 5001)
+    buckets = {hash_32(fhash + ifindex) % 97 for ifindex in range(2, 34)}
+    # hash_32 is multiplicative, so consecutive ifindexes form a stride
+    # pattern rather than a uniform spray — but stages must still spread
+    # well beyond a single bucket.
+    assert len(buckets) >= 10
+
+
+def test_flow_hash_distribution_over_cpu_buckets():
+    """RPS-style bucketing of many flows should be roughly uniform."""
+    counts = [0] * 8
+    total = 4096
+    for sport in range(total):
+        counts[flow_hash(1, 2, 17, sport, 5001) % 8] += 1
+    expected = total / 8
+    for count in counts:
+        assert 0.7 * expected < count < 1.3 * expected

@@ -1,0 +1,155 @@
+"""Unit tests for measurement primitives."""
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    LatencyRecorder,
+    RateMeter,
+    TimeWeightedValue,
+    WelfordAccumulator,
+)
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("x")
+        counter.add("x", 4)
+        assert counter.get("x") == 5
+        assert counter.get("missing") == 0
+
+    def test_diff_reports_only_changes(self):
+        counter = Counter()
+        counter.add("a", 2)
+        snap = counter.snapshot()
+        counter.add("a", 3)
+        counter.add("b", 1)
+        assert counter.diff(snap) == {"a": 3, "b": 1}
+
+    def test_snapshot_is_isolated(self):
+        counter = Counter()
+        counter.add("a")
+        snap = counter.snapshot()
+        counter.add("a")
+        assert snap["a"] == 1
+
+
+class TestWelford:
+    def test_mean_and_variance(self):
+        acc = WelfordAccumulator()
+        for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            acc.add(value)
+        assert acc.mean == pytest.approx(5.0)
+        assert acc.variance == pytest.approx(32.0 / 7.0)
+
+    def test_empty(self):
+        acc = WelfordAccumulator()
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+
+
+class TestLatencyRecorder:
+    def test_percentiles_exact(self):
+        rec = LatencyRecorder()
+        for value in range(1, 101):
+            rec.record(float(value))
+        assert rec.percentile(50) == 50.0
+        assert rec.percentile(90) == 90.0
+        assert rec.percentile(99) == 99.0
+        assert rec.percentile(100) == 100.0
+        assert rec.percentile(0) == 1.0
+
+    def test_mean(self):
+        rec = LatencyRecorder()
+        rec.record(10.0)
+        rec.record(20.0)
+        assert rec.mean == 15.0
+
+    def test_empty_summary(self):
+        rec = LatencyRecorder()
+        assert rec.percentile(99) == 0.0
+        assert rec.summary()["count"] == 0.0
+
+    def test_out_of_range_percentile(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        rec.record(5.0)
+        summary = rec.summary()
+        for key in ("count", "avg", "p50", "p90", "p99", "p99.9", "max"):
+            assert key in summary
+
+    def test_record_after_percentile_query(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        assert rec.percentile(50) == 1.0
+        rec.record(100.0)
+        assert rec.percentile(100) == 100.0
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        meter = RateMeter()
+        meter.open_window(1000.0)
+        for _ in range(50):
+            meter.record(100)
+        meter.close_window(2000.0)  # 1000 us window
+        assert meter.rate_per_sec() == pytest.approx(50 / 1e-3)
+        assert meter.gbps() == pytest.approx(50 * 100 * 8 / 1e-3 / 1e9)
+
+    def test_records_outside_window_ignored(self):
+        meter = RateMeter()
+        meter.record(1)  # before open
+        meter.open_window(0.0)
+        meter.record(1)
+        meter.close_window(10.0)
+        meter.record(1)  # after close
+        assert meter.count == 1
+
+    def test_zero_window(self):
+        meter = RateMeter()
+        assert meter.rate_per_sec() == 0.0
+        assert meter.gbps() == 0.0
+
+
+class TestTimeWeighted:
+    def test_mean_of_step_signal(self):
+        sig = TimeWeightedValue(now=0.0, value=0.0)
+        start_integral = sig.integral_at(0.0)
+        sig.update(10.0, 4.0)  # 0 until t=10
+        sig.update(20.0, 0.0)  # 4 from 10..20
+        assert sig.mean(0.0, 20.0, start_integral) == pytest.approx(2.0)
+
+    def test_time_backwards_rejected(self):
+        sig = TimeWeightedValue(now=5.0)
+        with pytest.raises(ValueError):
+            sig.update(4.0, 1.0)
+
+
+class TestHistogram:
+    def test_quantile_upper_bound(self):
+        hist = Histogram(bounds=[1.0, 10.0, 100.0])
+        for _ in range(90):
+            hist.record(5.0)
+        for _ in range(10):
+            hist.record(50.0)
+        assert hist.quantile(0.5) == 10.0
+        assert hist.quantile(0.99) == 100.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[10.0, 1.0])
+
+    def test_empty_quantile(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)

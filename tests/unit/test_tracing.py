@@ -1,0 +1,89 @@
+"""Unit/integration tests for the packet tracer."""
+
+import pytest
+
+from repro.core.config import FalconConfig
+from repro.metrics.tracing import MessageTrace, PacketTracer, TraceEvent
+from repro.workloads.sockperf import Testbed
+
+
+class TestTracerUnit:
+    def test_sampling(self):
+        tracer = PacketTracer(sample_every=10)
+
+        class FakeSkb:
+            def __init__(self, msg_id):
+                self.msg_id = msg_id
+                self.flow = type("F", (), {"flow_id": 1})()
+
+        assert tracer.wants(FakeSkb(0))
+        assert not tracer.wants(FakeSkb(3))
+        assert tracer.wants(FakeSkb(20))
+
+    def test_max_messages_cap(self):
+        tracer = PacketTracer(sample_every=1, max_messages=2)
+
+        class FakeSkb:
+            def __init__(self, flow_id, msg_id):
+                self.msg_id = msg_id
+                self.flow = type("F", (), {"flow_id": flow_id})()
+
+        for flow_id in range(5):
+            skb = FakeSkb(flow_id, 0)
+            if tracer.wants(skb):
+                tracer.record(skb, 0.0, "exec", "s", 0)
+        assert len(tracer.traces(complete_only=False)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketTracer(sample_every=0)
+
+    def test_stage_spans(self):
+        trace = MessageTrace(1, 0)
+        trace.events = [
+            TraceEvent(10.0, "exec", "pnic", 0),
+            TraceEvent(14.0, "enqueue", "vxlan", 3),
+            TraceEvent(19.0, "deliver", "socket", 3),
+        ]
+        spans = trace.stage_spans()
+        assert spans[0] == ("exec:pnic->enqueue:vxlan", 4.0)
+        assert trace.total_us() == 9.0
+        assert trace.complete
+
+
+class TestTracerOnStack:
+    def run_traced(self, falcon=None):
+        bed = Testbed(mode="overlay", falcon=falcon)
+        tracer = PacketTracer(sample_every=5)
+        bed.stack.tracer = tracer
+        bed.add_udp_flow(128, clients=1, rate_pps=40_000)
+        bed.run(warmup_ms=2, measure_ms=8)
+        return tracer
+
+    def test_traces_cover_all_overlay_stages(self):
+        tracer = self.run_traced()
+        cores = tracer.cores_seen()
+        for stage in ("pnic", "hoststack_outer", "vxlan", "container"):
+            assert stage in cores, stage
+
+    def test_vanilla_overlay_stages_share_one_core(self):
+        tracer = self.run_traced()
+        cores = tracer.cores_seen()
+        stacked = cores["hoststack_outer"] | cores["vxlan"] | cores["container"]
+        assert stacked == {1}  # the RPS core
+
+    def test_falcon_stages_spread(self):
+        tracer = self.run_traced(falcon=FalconConfig())
+        cores = tracer.cores_seen()
+        spread = cores["vxlan"] | cores["container"]
+        assert spread <= {3, 4, 5, 6}
+
+    def test_breakdown_sums_to_pipeline_time(self):
+        tracer = self.run_traced()
+        assert tracer.mean_pipeline_us() > 0
+        breakdown = tracer.stage_breakdown()
+        assert breakdown
+        total = sum(mean for mean, _count in breakdown.values())
+        # Segment means sum approximately to the mean pipeline time
+        # (exactly, when every trace has the same segment sequence).
+        assert total == pytest.approx(tracer.mean_pipeline_us(), rel=0.2)
