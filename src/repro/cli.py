@@ -113,6 +113,34 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--quick", action="store_true")
     figures.add_argument("--out", default="results")
     figures.add_argument("--only", default=None, help="comma-separated list")
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the simulator validation suites (invariants, differential, golden)",
+    )
+    validate.add_argument(
+        "--suite",
+        choices=["all", "invariants", "differential", "golden"],
+        default="all",
+    )
+    validate.add_argument(
+        "--quick", action="store_true", help="shorter runs (CI smoke mode)"
+    )
+    validate.add_argument(
+        "--regen-goldens",
+        action="store_true",
+        help="rewrite the checked-in golden traces from this run",
+    )
+    validate.add_argument(
+        "--golden-dir", default=None, help="override the golden trace directory"
+    )
+    validate.add_argument(
+        "--inject",
+        choices=["corrupt-counter", "lost-packet"],
+        default=None,
+        help="deliberately break an invariant mid-run (monitor self-test; "
+        "the command must then fail)",
+    )
     return parser
 
 
@@ -124,6 +152,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         only = set(args.only.split(",")) if args.only else None
         run_all(quick=args.quick, out_dir=args.out, only=only)
         return 0
+
+    if args.command == "validate":
+        from repro.validate import run_validation
+
+        outcomes = run_validation(
+            suites=args.suite,
+            quick=args.quick,
+            regen_goldens=args.regen_goldens,
+            golden_dir=args.golden_dir,
+            inject=args.inject,
+        )
+        for outcome in outcomes:
+            print(outcome.render())
+        failed = [outcome for outcome in outcomes if not outcome.ok]
+        print(
+            f"validate: {len(outcomes) - len(failed)}/{len(outcomes)} scenarios ok"
+            + (f", {len(failed)} FAILED" if failed else "")
+        )
+        return 1 if failed else 0
 
     if args.command == "stress":
         result = _experiment(args).run_udp_stress(

@@ -52,6 +52,7 @@ class Cpu:
         "busy_us_total",
         "load",
         "_dispatch_scheduled",
+        "monitor",
     )
 
     def __init__(self, sim: Simulator, index: int, acct: CpuAccounting) -> None:
@@ -66,6 +67,9 @@ class Cpu:
         #: This is the per-CPU load Algorithm 1 consults (``cpu.load``).
         self.load = 0.0
         self._dispatch_scheduled = False
+        #: Optional :class:`repro.validate.InvariantMonitor` hook (None
+        #: when validation is not attached — the common case).
+        self.monitor = None
 
     # ------------------------------------------------------------------
     # Submission & dispatch
@@ -122,11 +126,15 @@ class Cpu:
                 duration += sub_duration
         else:
             self.acct.charge(self.index, context, label, duration)
+        if self.monitor is not None:
+            self.monitor.on_cpu_start(self.index, self.sim.now, duration)
         self.busy_us_total += duration
         self.sim.schedule(duration, self._complete, fn, args)
 
     def _complete(self, fn: Completion, args: tuple) -> None:
         self._running = None
+        if self.monitor is not None:
+            self.monitor.on_cpu_complete(self.index, self.sim.now)
         if fn is not None:
             fn(*args)
         self._maybe_dispatch()

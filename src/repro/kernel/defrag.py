@@ -33,6 +33,8 @@ class DefragEngine:
         self.reassembled = 0
         self.defrag_timeouts = 0
         self._gc_scheduled = False
+        #: Optional :class:`repro.validate.InvariantMonitor` hook.
+        self.monitor = None
 
     def feed(self, skb: Skb, _cpu_index: int = 0) -> Optional[Skb]:
         """Offer a fragment; returns the reassembled datagram when complete."""
@@ -71,11 +73,19 @@ class DefragEngine:
         now = self.sim.now
         expired = [key for key, entry in self._table.items() if entry[3] <= now]
         for key in expired:
-            del self._table[key]
+            entry = self._table.pop(key)
             self.defrag_timeouts += 1
+            if self.monitor is not None:
+                # entry[1] wire packets leave the pipeline with the entry.
+                self.monitor.on_defrag_timeout(entry[1])
         if self._table:
             self._schedule_gc()
 
     @property
     def pending(self) -> int:
         return len(self._table)
+
+    @property
+    def pending_packets(self) -> int:
+        """Wire packets (fragments) held by incomplete reassemblies."""
+        return sum(entry[1] for entry in self._table.values())

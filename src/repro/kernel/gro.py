@@ -76,6 +76,11 @@ class GroEngine:
     def held_count(self) -> int:
         return len(self._held)
 
+    @property
+    def held_segs(self) -> int:
+        """Wire packets currently absorbed into in-progress merges."""
+        return sum(skb.segs for skb in self._held.values())
+
 
 class GroCluster:
     """One GRO engine per core.
@@ -102,3 +107,7 @@ class GroCluster:
     @property
     def held_count(self) -> int:
         return sum(engine.held_count for engine in self.engines)
+
+    @property
+    def held_segs(self) -> int:
+        return sum(engine.held_segs for engine in self.engines)

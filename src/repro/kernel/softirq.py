@@ -175,6 +175,8 @@ class SoftirqNet:
             for _ in range(machine.num_cpus)
         ]
         self._ipi_rng = machine.rng.stream("ipi-jitter")
+        #: Optional :class:`repro.validate.InvariantMonitor` hook.
+        self.monitor = None
         #: Calls to raise_net_rx (per-packet granularity in the overlay).
         self.softirq_raises = 0
         #: net_rx_action invocations — how often a softirq handler actually
@@ -262,6 +264,8 @@ class SoftirqNet:
         napi = data.queue_for(stage)
         if from_cpu != target_cpu and len(napi.queue) >= napi.capacity:
             napi.drops += 1
+            if self.monitor is not None:
+                self.monitor.on_terminal(skb, "backlog_drop")
             return
         napi.queue.append((skb, stage))
         self.raise_net_rx(target_cpu, napi, from_cpu)

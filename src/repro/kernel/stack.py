@@ -156,6 +156,9 @@ class NetworkStack:
         self.control_packets = 0
         #: Optional :class:`repro.metrics.tracing.PacketTracer`.
         self.tracer = None
+        #: Optional :class:`repro.validate.InvariantMonitor`; attached via
+        #: :func:`repro.validate.attach_monitor`, None in normal runs.
+        self.monitor = None
 
         # --- stage graph -------------------------------------------------
         self.stages: dict = {}
@@ -288,21 +291,30 @@ class NetworkStack:
 
     def deliver_to_socket(self, skb: Skb, cpu_index: int) -> None:
         tracer = self.tracer
+        monitor = self.monitor
         if tracer is not None and tracer.wants(skb):
             tracer.record(skb, self.sim.now, "deliver", "socket", cpu_index)
         if skb.meta == "ctl":
             # Control traffic (pure ACKs): consumed by tcp_v4_rcv after
             # riding the whole receive pipeline; nothing reaches the app.
             self.control_packets += 1
+            if monitor is not None:
+                monitor.on_terminal(skb, "control")
             return
         socket = self.sockets.lookup(skb.flow)
         if socket is None:
             self.unroutable_packets += 1
             self.sockets.unroutable += 1
+            if monitor is not None:
+                monitor.on_terminal(skb, "unroutable")
             return
         skb.last_cpu = cpu_index
         if socket.enqueue(skb):
             self.delivered_packets += 1
+            if monitor is not None:
+                monitor.on_terminal(skb, "delivered")
+        elif monitor is not None:
+            monitor.on_terminal(skb, "socket_drop")
 
     # ------------------------------------------------------------------
     # Public API
@@ -343,7 +355,10 @@ class NetworkStack:
     def inject(self, skb: Skb) -> bool:
         """A frame arrived from the wire (called at link delivery time)."""
         skb.t_nic = self.sim.now
-        return self.nic.receive(skb)
+        accepted = self.nic.receive(skb)
+        if self.monitor is not None:
+            self.monitor.on_inject(skb, accepted)
+        return accepted
 
     # ------------------------------------------------------------------
     # Stats

@@ -35,8 +35,12 @@ class InterruptCounters:
     def __init__(self) -> None:
         self._global = Counter()
         self._per_cpu: Dict[int, Counter] = {}
+        #: Optional :class:`repro.validate.InvariantMonitor` hook.
+        self.monitor = None
 
     def record(self, kind: str, cpu: int, amount: int = 1) -> None:
+        if self.monitor is not None:
+            self.monitor.on_counter_record(kind, cpu, amount)
         self._global.add(kind, amount)
         per_cpu = self._per_cpu.get(cpu)
         if per_cpu is None:

@@ -71,6 +71,10 @@ class Simulator:
         self._seq: int = 0
         self._halted: bool = False
         self.events_processed: int = 0
+        #: Optional :class:`repro.validate.InvariantMonitor` hook. When
+        #: None (the default) the event loop pays one attribute check per
+        #: event and nothing else.
+        self.monitor = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -126,6 +130,8 @@ class Simulator:
             if max_events is not None and processed >= max_events:
                 break
             heapq.heappop(heap)
+            if self.monitor is not None:
+                self.monitor.on_event(self.now, event.time)
             self.now = event.time
             event.fn(*event.args)
             processed += 1
@@ -142,6 +148,8 @@ class Simulator:
             event = heapq.heappop(heap)
             if event.cancelled:
                 continue
+            if self.monitor is not None:
+                self.monitor.on_event(self.now, event.time)
             self.now = event.time
             event.fn(*event.args)
             self.events_processed += 1

@@ -10,6 +10,9 @@ import importlib
 
 import pytest
 
+# The figure sweeps dominate suite wall-clock; they run in the slow tier.
+pytestmark = pytest.mark.slow
+
 FIGURES = [
     "fig02_motivation",
     "fig04_interrupts",

@@ -1,5 +1,6 @@
 """Property-based tests for hashing and CPU selection."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -46,6 +47,7 @@ def test_choices_sticky_per_flow_and_device(skb_hash):
         assert len(picks) == 1
 
 
+@pytest.mark.slow
 @given(st.lists(u32, min_size=100, max_size=100, unique=True))
 def test_second_choice_escapes_first_most_of_the_time(hashes):
     """Algorithm 1's second choice is useless if it maps back to the
@@ -59,6 +61,7 @@ def test_second_choice_escapes_first_most_of_the_time(hashes):
     assert differing >= 40
 
 
+@pytest.mark.slow
 @given(st.lists(u32, min_size=200, max_size=200, unique=True))
 def test_first_choice_spreads_over_cpu_set(hashes):
     cpus = [3, 4, 5, 6]

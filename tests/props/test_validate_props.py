@@ -1,0 +1,136 @@
+"""Property tests for the invariant monitors.
+
+The defining property of a safety net: across randomized workloads and
+seeds, clean runs must pass silently, and a run with an injected bug must
+raise. Workloads vary seed, message size, pacing and Falcon config; every
+clean run must drain to quiescence with an exactly balanced ledger.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FalconConfig
+from repro.validate import (
+    InvariantViolation,
+    attach_monitor,
+    corrupt_conservation_ledger,
+    corrupt_interrupt_counter,
+    drain_to_quiescence,
+)
+from repro.workloads.sockperf import Testbed
+
+# Each example is a full simulation run; keep the example budget small
+# and deterministic (derandomize) so the fast tier stays fast and CI
+# never flakes on a surprise example.
+RUN_SETTINGS = settings(
+    max_examples=5,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=2**16)
+falcon_specs = st.sampled_from([None, "default", "split"])
+
+
+def _falcon(spec):
+    if spec == "default":
+        return FalconConfig()
+    if spec == "split":
+        return FalconConfig(split_gro=True)
+    return None
+
+
+def _monitored_bed(seed, falcon_spec):
+    bed = Testbed(mode="overlay", falcon=_falcon(falcon_spec), seed=seed)
+    return bed, attach_monitor(bed.stack)
+
+
+@RUN_SETTINGS
+@given(
+    seed=seeds,
+    falcon_spec=falcon_specs,
+    message_size=st.sampled_from([16, 512, 4096]),
+    rate_kpps=st.sampled_from([10, 25, 40]),
+)
+def test_clean_runs_stay_silent(seed, falcon_spec, message_size, rate_kpps):
+    bed, monitor = _monitored_bed(seed, falcon_spec)
+    try:
+        bed.add_udp_flow(message_size, rate_pps=rate_kpps * 1000.0)
+        bed.run(warmup_ms=1.0, measure_ms=2.0)
+        assert drain_to_quiescence(monitor)
+        monitor.check_conservation(strict=True)
+    finally:
+        monitor.detach()
+    assert monitor.violations == []
+    assert monitor.generated > 0  # the run actually exercised the pipeline
+    assert monitor.audits > 0  # and the periodic audit actually ran
+
+
+@RUN_SETTINGS
+@given(seed=seeds, falcon_spec=falcon_specs)
+def test_clean_tcp_runs_stay_silent(seed, falcon_spec):
+    bed, monitor = _monitored_bed(seed, falcon_spec)
+    try:
+        bed.add_tcp_flow(4096, window_msgs=8)
+        bed.run(warmup_ms=1.0, measure_ms=2.0)
+        assert drain_to_quiescence(monitor)
+        monitor.check_conservation(strict=True)
+    finally:
+        monitor.detach()
+    assert monitor.violations == []
+    assert monitor.generated > 0
+
+
+@RUN_SETTINGS
+@given(seed=seeds, falcon_spec=falcon_specs)
+def test_corrupted_counter_always_caught(seed, falcon_spec):
+    bed, monitor = _monitored_bed(seed, falcon_spec)
+    try:
+        bed.add_udp_flow(512, rate_pps=30_000.0)
+        # Corrupt mid-run: the next 500 µs audit must see the counter
+        # running backwards, whatever the workload looks like.
+        bed.sim.schedule(2_000.0, corrupt_interrupt_counter, bed.host.machine)
+        with pytest.raises(InvariantViolation) as err:
+            bed.run(warmup_ms=1.0, measure_ms=2.0)
+        assert err.value.kind == "counter-monotonicity"
+        assert monitor.violations
+    finally:
+        monitor.detach()
+
+
+@RUN_SETTINGS
+@given(seed=seeds, falcon_spec=falcon_specs)
+def test_lost_packets_always_caught(seed, falcon_spec):
+    bed, monitor = _monitored_bed(seed, falcon_spec)
+    try:
+        bed.add_udp_flow(512, rate_pps=30_000.0)
+        # Erase more packets than any in-flight batch could explain; the
+        # mid-run (non-strict) audit must flag the imbalance.
+        bed.sim.schedule(
+            2_000.0, corrupt_conservation_ledger, monitor, 1_000_000
+        )
+        with pytest.raises(InvariantViolation) as err:
+            bed.run(warmup_ms=1.0, measure_ms=2.0)
+        assert err.value.kind == "conservation"
+    finally:
+        monitor.detach()
+
+
+@RUN_SETTINGS
+@given(seed=seeds)
+def test_small_loss_caught_at_quiescence(seed):
+    """A one-packet leak hides inside in-flight slack mid-run but cannot
+    survive the strict check once the pipeline drains."""
+    bed, monitor = _monitored_bed(seed, "default")
+    try:
+        bed.add_udp_flow(512, rate_pps=30_000.0)
+        bed.run(warmup_ms=1.0, measure_ms=2.0)
+        assert drain_to_quiescence(monitor)
+        corrupt_conservation_ledger(monitor, amount=1)
+        with pytest.raises(InvariantViolation) as err:
+            monitor.check_conservation(strict=True)
+        assert err.value.kind == "conservation"
+    finally:
+        monitor.detach()
