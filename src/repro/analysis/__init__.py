@@ -1,11 +1,19 @@
-"""Analytical models of the receive pipeline.
+"""Analysis of the reproduction: closed-form models and static checks.
 
-A closed-form companion to the simulator: from the same
-:class:`~repro.kernel.costs.CostModel`, :mod:`~repro.analysis.pipeline`
-derives each mode's per-stage service times, predicts the bottleneck
-stage and the saturation packet rate, and estimates queueing latency.
-The cross-validation tests assert simulator and analysis agree, which
-protects both against silent calibration drift.
+Two halves:
+
+* :mod:`~repro.analysis.pipeline` — a closed-form companion to the
+  simulator: from the same :class:`~repro.kernel.costs.CostModel` it
+  derives each mode's per-stage service times, predicts the bottleneck
+  stage and the saturation packet rate, and estimates queueing latency.
+  The cross-validation tests assert simulator and analysis agree, which
+  protects both against silent calibration drift.
+* :mod:`~repro.analysis.lint` — ``simlint``, the static-analysis pass
+  that enforces the simulator's determinism, DES-discipline and
+  simulated-concurrency contracts on every file (``repro lint``), with
+  suppression pragmas in :mod:`~repro.analysis.pragmas`. Imported
+  lazily: linting never loads the simulator and the simulator never
+  loads the linter.
 """
 
 from repro.analysis.pipeline import (

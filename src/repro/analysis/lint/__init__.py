@@ -1,0 +1,41 @@
+"""``simlint``: static enforcement of the simulator's core contracts.
+
+The static counterpart of :mod:`repro.validate` (PR 1): where the
+invariant monitors catch a determinism or serialization violation *when
+a workload executes it*, these rules catch the same contract violations
+on every file before any workload runs. Three rule families:
+
+=========  =============================================================
+SIM101     no wall-clock reads (``time.time`` & co.)
+SIM102     all randomness via :class:`repro.sim.rng.RngRegistry` streams
+SIM103     no ``id()``/``hash()``-derived ordering
+SIM104     no set iteration feeding the event scheduler
+DES201     no real concurrency primitives in simulated code
+DES202     no blocking calls (sleep / I/O / subprocess) in simulated code
+DES203     service times are named :class:`~repro.kernel.costs.CostModel`
+           constants, never literals
+RACE301    cross-core access to per-CPU structures must route through
+           the serialization primitives (``raise_net_rx`` /
+           ``enqueue_backlog`` / ``schedule`` / ``submit``)
+LINT000/1  malformed pragmas / unparseable files (always on)
+=========  =============================================================
+
+Run via ``repro lint <paths>`` or programmatically via
+:func:`lint_paths`. Suppression pragmas are documented in
+:mod:`repro.analysis.pragmas`.
+"""
+
+from repro.analysis.lint.core import Finding, Rule
+from repro.analysis.lint.report import LintResult, render_json, render_text
+from repro.analysis.lint.runner import ALL_RULES, lint_paths, rule_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule_by_id",
+]

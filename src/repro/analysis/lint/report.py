@@ -1,0 +1,69 @@
+"""Reporters for lint results: compiler-style text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.lint.core import Finding
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def render_text(result: LintResult) -> str:
+    """``path:line:col: RULE message`` per finding plus a summary line."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}"
+        for f in result.findings
+    ]
+    if result.findings:
+        by_rule = ", ".join(
+            f"{rule}×{count}" for rule, count in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"simlint: {len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} "
+            f"in {result.files_checked} files ({by_rule})"
+        )
+    else:
+        lines.append(f"simlint: {result.files_checked} files clean")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable form (sorted keys, sorted findings)."""
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "counts_by_rule": result.counts_by_rule(),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col + 1,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

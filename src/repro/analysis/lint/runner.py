@@ -1,0 +1,115 @@
+"""File discovery, rule dispatch and suppression for ``repro lint``."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.core import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    meta_findings,
+    module_name_for,
+)
+from repro.analysis.lint.report import LintResult
+from repro.analysis.lint.rules_des import DES_RULES
+from repro.analysis.lint.rules_determinism import DETERMINISM_RULES
+from repro.analysis.lint.rules_race import RACE_RULES
+
+#: Every rule, in catalogue order.
+ALL_RULES: Tuple[Rule, ...] = DETERMINISM_RULES + DES_RULES + RACE_RULES
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
+
+
+def rule_by_id(rule_id: str) -> Optional[Rule]:
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    return None
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name for name in dirnames if name not in _SKIP_DIRS
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return sorted(dict.fromkeys(found))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_ids: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or trees) with all or the selected rules.
+
+    Suppression pragmas are applied after rule execution, so a pragma
+    silences the finding without changing what the rules see. Unknown
+    rule ids in ``rule_ids`` raise ``ValueError`` — a typo in ``--rule``
+    must not silently lint nothing.
+    """
+    selected: List[Rule]
+    if rule_ids is None:
+        selected = list(ALL_RULES)
+    else:
+        selected = []
+        for rule_id in rule_ids:
+            rule = rule_by_id(rule_id)
+            if rule is None:
+                known = ", ".join(r.id for r in ALL_RULES)
+                raise ValueError(f"unknown rule id {rule_id!r} (known: {known})")
+            selected.append(rule)
+
+    files = [
+        FileContext(path, _read(path), module_name_for(path))
+        for path in iter_python_files(paths)
+    ]
+    project = Project(files=files)
+    known_ids = [rule.id for rule in ALL_RULES]
+
+    findings: List[Finding] = []
+    for rule in selected:
+        findings.extend(rule.check_project(project))
+    # Meta findings (parse errors, malformed pragmas) always run: a file
+    # that cannot be parsed was not checked, and silence would be a lie.
+    by_path = {ctx.path: ctx for ctx in files}
+    for ctx in files:
+        findings.extend(meta_findings(ctx, known_ids))
+
+    kept = [
+        finding
+        for finding in findings
+        if not _suppressed(by_path.get(finding.path), finding)
+    ]
+    kept.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=kept,
+        files_checked=len(files),
+        rules_run=[rule.id for rule in selected],
+    )
+
+
+def _suppressed(ctx: Optional[FileContext], finding: Finding) -> bool:
+    if ctx is None:
+        return False
+    if finding.rule in ("LINT000", "LINT001"):
+        return False  # the suppression machinery cannot suppress itself
+    return ctx.suppressed(finding.rule, finding.line)
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()

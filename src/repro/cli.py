@@ -114,6 +114,31 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default="results")
     figures.add_argument("--only", default=None, help="comma-separated list")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the simlint static-analysis pass (determinism, "
+        "DES-discipline, simulated-concurrency contracts)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable, e.g. --rule SIM101)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+
     validate = sub.add_parser(
         "validate",
         help="run the simulator validation suites (invariants, differential, golden)",
@@ -152,6 +177,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         only = set(args.only.split(",")) if args.only else None
         run_all(quick=args.quick, out_dir=args.out, only=only)
         return 0
+
+    if args.command == "lint":
+        from repro.analysis.lint import (
+            ALL_RULES,
+            lint_paths,
+            render_json,
+            render_text,
+        )
+
+        if args.list_rules:
+            for rule in ALL_RULES:
+                scope = (
+                    ", ".join(rule.scope) if rule.scope else "all linted files"
+                )
+                print(f"{rule.id}  {rule.title}")
+                print(f"    scope: {scope}")
+                print(f"    {rule.rationale}")
+            return 0
+        try:
+            result = lint_paths(args.paths, rule_ids=args.rule)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        print(render_json(result) if args.fmt == "json" else render_text(result))
+        return 0 if result.ok else 1
 
     if args.command == "validate":
         from repro.validate import run_validation

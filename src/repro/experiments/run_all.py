@@ -17,6 +17,23 @@ import os
 import time
 from typing import List
 
+from repro.analysis.pragmas import lint_exempt
+
+
+@lint_exempt(
+    "SIM101",
+    reason="harness self-timing: measures how long figure generation takes "
+    "on the host; never feeds simulated time or results",
+)
+def wall_seconds() -> float:
+    """Wall-clock timestamp (seconds) for harness progress reporting.
+
+    The single sanctioned wall-clock read in the tree — everything under
+    simulated time must use ``sim.now`` (enforced by simlint SIM101).
+    """
+    return time.time()
+
+
 FIGURES: List[str] = [
     "fig02_motivation",
     "fig04_interrupts",
@@ -42,9 +59,9 @@ def run_all(quick: bool = False, out_dir: str = "results", only=None) -> List[st
     rendered_all = []
     for name in selected:
         module = importlib.import_module(f"repro.experiments.{name}")
-        started = time.time()
+        started = wall_seconds()
         output = module.run(quick=quick)
-        elapsed = time.time() - started
+        elapsed = wall_seconds() - started
         text = output.render() + f"\n\n[completed in {elapsed:.1f}s]\n"
         path = os.path.join(out_dir, f"{name}.txt")
         with open(path, "w") as handle:

@@ -123,6 +123,15 @@ class CostModel:
     # --- timer tick -----------------------------------------------------
     do_timer: FuncCost = FuncCost(0.30)
 
+    # --- client-side workload pacing (application model, not kernel
+    # --- functions; named here so every modelled delay has one home) ----
+    #: Browser delay before the first pipelined asset fetch of a page.
+    asset_fetch_first_us: float = 2.0
+    #: Additional stagger between successive pipelined asset fetches.
+    asset_fetch_stagger_us: float = 1.0
+    #: Web-tier worker service time per static asset request.
+    asset_service_us: float = 4.0
+
     name: str = "4.19"
 
     # ------------------------------------------------------------------

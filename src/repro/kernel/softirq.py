@@ -21,7 +21,7 @@ per NIC interrupt.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.hw.cpu import SOFTIRQ
 from repro.hw.nic import Nic, RxQueue
@@ -134,7 +134,7 @@ class SoftNetData:
 
     def __init__(self, backlog_capacity: int, weight: int) -> None:
         self.poll_list: Deque[Napi] = deque()
-        self.queues: dict = {}
+        self.queues: Dict[str, BacklogNapi] = {}
         self.capacity = backlog_capacity
         self.weight = weight
         #: True while a net_rx_action chain is scheduled or running.
@@ -176,7 +176,7 @@ class SoftirqNet:
         ]
         self._ipi_rng = machine.rng.stream("ipi-jitter")
         #: Optional :class:`repro.validate.InvariantMonitor` hook.
-        self.monitor = None
+        self.monitor: Optional[Any] = None
         #: Calls to raise_net_rx (per-packet granularity in the overlay).
         self.softirq_raises = 0
         #: net_rx_action invocations — how often a softirq handler actually
@@ -186,7 +186,7 @@ class SoftirqNet:
         self.handler_runs = 0
         #: Packets processed per stage name — the paper's "softirqs per
         #: packet" view (one device softirq execution per packet per stage).
-        self.stage_executions: dict = {}
+        self.stage_executions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Hardware interrupt entry

@@ -9,7 +9,7 @@ the packet after the driver stage.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.kernel.skb import Skb
 
@@ -57,7 +57,8 @@ class Rfs:
 
     def __init__(self, rps_cpus: Sequence[int]) -> None:
         self._fallback = Rps(rps_cpus)
-        self._flow_table: dict = {}
+        #: flow id -> CPU the application last read that flow's socket on.
+        self._flow_table: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
 

@@ -18,7 +18,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.sim.errors import SimulationError
 
@@ -33,7 +33,9 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -74,7 +76,7 @@ class Simulator:
         #: Optional :class:`repro.validate.InvariantMonitor` hook. When
         #: None (the default) the event loop pays one attribute check per
         #: event and nothing else.
-        self.monitor = None
+        self.monitor: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -40,7 +40,9 @@ class RngRegistry:
         """Return the stream for ``name``, creating it on first use."""
         stream = self._streams.get(name)
         if stream is None:
-            stream = random.Random(_derive_seed(self.seed, name))
+            # The registry is the one sanctioned construction site for
+            # Random instances; everyone else draws from named streams.
+            stream = random.Random(_derive_seed(self.seed, name))  # simlint: disable=SIM102
             self._streams[name] = stream
         return stream
 

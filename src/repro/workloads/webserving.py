@@ -78,10 +78,6 @@ OPERATIONS: List[Operation] = [
     Operation("AddFriend", 0.04, 500, 8_000, 100.0, 2, 2, 5, 3_000, 1_500.0),
 ]
 
-#: nginx service time for a static asset, µs (cached sendfile path).
-ASSET_SERVICE_US = 4.0
-
-
 class _Backend:
     """A single-core backend tier (memcached or mysql) as a FIFO server."""
 
@@ -290,7 +286,7 @@ class WebServingScenario:
         fetch: _AssetFetch = skb.meta
         worker_cpu = socket.app_cpu_index
         self.web_pool.submit(
-            ASSET_SERVICE_US,
+            self.bed.stack.costs.asset_service_us,
             lambda: self.channel.respond(
                 worker_cpu,
                 fetch.page.op.asset_bytes,
@@ -307,10 +303,15 @@ class WebServingScenario:
         session = page.session
         asset_flow = session["asset_flow"]
         sim = self.bed.sim
+        costs = self.bed.stack.costs
         for index in range(page.op.asset_count):
             fetch = _AssetFetch(page)
             # Browsers pipeline asset fetches; stagger them slightly.
-            sim.schedule(2.0 + index * 1.0, self._attempt_asset, fetch)
+            sim.schedule(
+                costs.asset_fetch_first_us + index * costs.asset_fetch_stagger_us,
+                self._attempt_asset,
+                fetch,
+            )
         self._part_done(page)
 
     def _attempt_asset(self, fetch: _AssetFetch) -> None:

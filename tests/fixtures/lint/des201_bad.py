@@ -1,0 +1,9 @@
+"""DES201: real OS concurrency inside the simulated system."""
+
+import threading  # expect: DES201
+
+
+def process_in_background(fn, skb):
+    worker = threading.Thread(target=fn, args=(skb,))
+    worker.start()
+    return worker

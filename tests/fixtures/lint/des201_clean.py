@@ -1,0 +1,5 @@
+"""Clean twin of des201_bad: concurrency is events on the DES engine."""
+
+
+def process_in_background(sim, delay, fn, skb):
+    sim.schedule(delay, fn, skb)

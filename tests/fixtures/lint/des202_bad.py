@@ -1,0 +1,8 @@
+"""DES202: blocking the event loop in real time."""
+
+import time
+
+
+def wait_for_backlog_drain(napi):
+    while napi.backlog:
+        time.sleep(0.001)  # expect: DES202

@@ -1,0 +1,9 @@
+"""Clean twin of des202_bad: waiting is a scheduled re-check event."""
+
+
+def wait_for_backlog_drain(sim, poll_interval_us, napi, done):
+    if napi.backlog:
+        sim.schedule(poll_interval_us, wait_for_backlog_drain, sim,
+                     poll_interval_us, napi, done)
+    else:
+        done()

@@ -1,0 +1,10 @@
+"""DES203: anonymous service-time constants outside kernel/costs.py."""
+
+from repro.kernel.costs import FuncCost
+
+#: A cost definition hiding outside the cost model.
+LOCAL_SKB_ALLOC = FuncCost(0.45, 0.00002)  # expect: DES203
+
+
+def deliver_later(sim, deliver, skb):
+    sim.schedule(12.5, deliver, skb)  # expect: DES203

@@ -1,0 +1,5 @@
+"""Clean twin of des203_bad: every delay references a named cost."""
+
+
+def deliver_later(sim, costs, deliver, skb):
+    sim.schedule(costs.ipi_delay_us, deliver, skb)

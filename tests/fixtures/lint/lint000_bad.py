@@ -1,0 +1,22 @@
+"""LINT000: pragmas and exemptions that silence nothing must be loud.
+
+An unknown rule id in a pragma does not suppress anything (the SIM101
+on the same line still fires), a syntactically malformed id is reported,
+and a ``lint_exempt`` without a reason is reported even though its rule
+list still suppresses.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # simlint: disable=NOPE123 # expect: LINT000,SIM101
+
+
+def tick():  # simlint: disable=not-an-id # expect: LINT000
+    return 0
+
+
+@lint_exempt("SIM101")  # expect: LINT000
+def undocumented_stamp():
+    return time.time()

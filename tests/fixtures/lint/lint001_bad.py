@@ -1,0 +1,3 @@
+# expect: LINT001 -- this file deliberately does not parse
+def broken(:
+    return

@@ -1,0 +1,15 @@
+"""RACE301: cross-core write into per-CPU state with no serialization.
+
+``enqueue`` juggles two core identities and reaches straight into the
+target core's backlog — state teleports between cores with no IPI, no
+softirq raise and no latency.
+"""
+
+
+class MiniSoftirq:
+    def __init__(self, sim, num_cpus):
+        self.sim = sim
+        self.backlogs = [[] for _ in range(num_cpus)]
+
+    def enqueue(self, target_cpu, skb, from_cpu):
+        self.backlogs[target_cpu].append(skb)  # expect: RACE301

@@ -1,0 +1,14 @@
+"""Clean twin of race301_bad: cross-core traffic rides an IPI event."""
+
+
+class MiniSoftirqSerialized:
+    def __init__(self, sim, ipi_delay_us, num_cpus):
+        self.sim = sim
+        self.ipi_delay_us = ipi_delay_us
+        self.backlogs = [[] for _ in range(num_cpus)]
+
+    def enqueue(self, target_cpu, skb, from_cpu):
+        self.sim.schedule(self.ipi_delay_us, self._deliver, target_cpu, skb)
+
+    def _deliver(self, cpu, skb):
+        self.backlogs[cpu].append(skb)

@@ -1,0 +1,8 @@
+"""SIM101: reading the wall clock inside simulated code."""
+
+import time
+
+
+def timestamp_event(event):
+    event.stamped_at = time.time()  # expect: SIM101
+    return event

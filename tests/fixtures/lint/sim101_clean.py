@@ -1,0 +1,6 @@
+"""Clean twin of sim101_bad: timestamps come from the simulation clock."""
+
+
+def timestamp_event(sim, event):
+    event.stamped_at = sim.now
+    return event

@@ -1,0 +1,7 @@
+"""SIM102: randomness that bypasses the seeded RngRegistry."""
+
+import random
+
+
+def jitter_us(base):
+    return base + random.random()  # expect: SIM102

@@ -1,0 +1,6 @@
+"""Clean twin of sim102_bad: draws come from a named registry stream."""
+
+
+def jitter_us(machine, base):
+    rng = machine.rng.stream("jitter")
+    return base + rng.random()

@@ -1,0 +1,5 @@
+"""SIM103: event ordering keyed on object identity."""
+
+
+def drain_in_order(events):
+    return sorted(events, key=id)  # expect: SIM103

@@ -1,0 +1,5 @@
+"""Clean twin of sim103_bad: ties break on explicit sequence numbers."""
+
+
+def drain_in_order(events):
+    return sorted(events, key=lambda event: (event.time, event.seq))

@@ -1,0 +1,7 @@
+"""SIM104: scheduling events while iterating a set."""
+
+
+def wake_waiters(sim, delay, notify):
+    pending = {"udp-flow", "tcp-flow", "timer"}
+    for waiter in pending:  # expect: SIM104
+        sim.schedule(delay, notify, waiter)

@@ -1,0 +1,7 @@
+"""Clean twin of sim104_bad: iterate a sorted view of the set."""
+
+
+def wake_waiters(sim, delay, notify):
+    pending = {"udp-flow", "tcp-flow", "timer"}
+    for waiter in sorted(pending):
+        sim.schedule(delay, notify, waiter)
