@@ -1,0 +1,176 @@
+"""Static ↔ dynamic cross-check of the stage graph (``repro flow --trace``).
+
+The golden traces (``tests/goldens/*.json``, produced by
+:mod:`repro.validate.golden` from :class:`repro.metrics.tracing.PacketTracer`
+events) record the stage hops real packets took at runtime. This module
+replays them and compares the observed stage edges against the statically
+derived :func:`~repro.analysis.flow.stagespec.stage_order_spec`:
+
+* an edge observed at runtime but absent from the static graph is an
+  **error** — the analyzer's model of the pipeline is wrong, which means
+  the typestate rules (and RACE301's call graph) are reasoning about a
+  stack that does not exist;
+* a static edge never exercised by any golden trace is a **warning** —
+  dead modelling or missing trace coverage (host-mode edges are expected
+  here while the goldens are all overlay scenarios).
+
+Synthetic nodes (``alloc``/``hardirq``/``free``) never appear in traces,
+so only edges between runtime-observable stages (including ``socket``)
+are compared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.flow.stagespec import ALLOC, FREE, HARDIRQ, stage_order_spec
+
+
+@dataclass
+class CrossCheckResult:
+    """Outcome of one trace replay against the static spec."""
+
+    trace_files: List[str] = field(default_factory=list)
+    traces_replayed: int = 0
+    #: Multi-packet traces (TCP segments / GRO / ACKs share one msg_id,
+    #: so their events interleave) — skipped, since consecutive-event
+    #: pairs across different packets are not edges.
+    traces_skipped: int = 0
+    events_replayed: int = 0
+    #: Edges seen at runtime, with the number of traces exercising each.
+    observed: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Runtime edges the static graph does not contain (errors).
+    missing_static: List[Tuple[str, str]] = field(default_factory=list)
+    #: Static edges no golden trace exercised (warnings).
+    unobserved_static: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_static
+
+    def to_json(self) -> str:
+        payload = {
+            "ok": self.ok,
+            "trace_files": [os.path.basename(p) for p in self.trace_files],
+            "traces_replayed": self.traces_replayed,
+            "traces_skipped_multi_packet": self.traces_skipped,
+            "events_replayed": self.events_replayed,
+            "observed_edges": {
+                f"{a}->{b}": count
+                for (a, b), count in sorted(self.observed.items())
+            },
+            "missing_from_static_graph": [
+                f"{a}->{b}" for a, b in self.missing_static
+            ],
+            "static_edges_unobserved": [
+                f"{a}->{b}" for a, b in self.unobserved_static
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines = [
+            f"simflow cross-check: {self.traces_replayed} traces "
+            f"({self.events_replayed} events) from "
+            f"{len(self.trace_files)} golden files, "
+            f"{len(self.observed)} distinct stage edges observed, "
+            f"{self.traces_skipped} multi-packet traces skipped"
+        ]
+        for a, b in self.missing_static:
+            lines.append(
+                f"ERROR: runtime edge {a}->{b} is missing from the static "
+                "stage graph — the derived spec no longer matches reality"
+            )
+        for a, b in self.unobserved_static:
+            lines.append(
+                f"warning: static edge {a}->{b} never observed in any "
+                "golden trace (dead modelling or missing trace coverage)"
+            )
+        lines.append(
+            "cross-check OK" if self.ok else "cross-check FAILED"
+        )
+        return "\n".join(lines)
+
+
+def default_trace_dir() -> str:
+    """The goldens directory, resolved like repro.validate.golden does."""
+    from repro.validate.golden import default_golden_dir
+
+    return default_golden_dir()
+
+
+def _single_packet(events: Sequence[Sequence[object]]) -> bool:
+    """True when the trace records exactly one packet's journey.
+
+    Traces are keyed by ``(flow_id, msg_id)``; a multi-segment TCP
+    message (or its ACKs, or GRO partners) shares the key, so several
+    packets interleave in one event list. Such a trace repeats a
+    ``(kind, stage)`` pair — one packet passes each stage once.
+    """
+    seen: Set[Tuple[str, str]] = set()
+    for event in events:
+        key = (str(event[1]), str(event[2]))
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def _trace_edges(events: Sequence[Sequence[object]]) -> Set[Tuple[str, str]]:
+    """Stage edges one single-packet trace exercised.
+
+    Events are ``[time_us, kind, stage, cpu]``. ``enqueue`` names the
+    *target* stage before the hop executes; ``exec``/``deliver`` move the
+    packet's current stage. Both orderings witness the same edge.
+    """
+    edges: Set[Tuple[str, str]] = set()
+    current: str = ""
+    for event in sorted(events, key=lambda e: float(e[0])):  # type: ignore[arg-type]
+        kind = str(event[1])
+        stage = str(event[2])
+        if current and stage != current:
+            edges.add((current, stage))
+        if kind in ("exec", "deliver"):
+            current = stage
+    return edges
+
+
+def cross_check(paths: Sequence[str] = ()) -> CrossCheckResult:
+    """Replay golden traces and diff their edges against the static spec."""
+    trace_files = list(paths)
+    if not trace_files:
+        golden_dir = default_trace_dir()
+        trace_files = sorted(
+            os.path.join(golden_dir, name)
+            for name in os.listdir(golden_dir)
+            if name.endswith(".json")
+        )
+    result = CrossCheckResult(trace_files=trace_files)
+    for path in trace_files:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        for trace in doc.get("traces", ()):
+            events = trace.get("events", ())
+            if not _single_packet(events):
+                result.traces_skipped += 1
+                continue
+            result.traces_replayed += 1
+            result.events_replayed += len(events)
+            for edge in _trace_edges(events):
+                result.observed[edge] = result.observed.get(edge, 0) + 1
+
+    spec = stage_order_spec()
+    synthetic = {ALLOC, HARDIRQ, FREE}
+    comparable = {
+        edge for edge in spec.edges if not (set(edge) & synthetic)
+    }
+    result.missing_static = sorted(
+        edge for edge in result.observed if edge not in comparable
+    )
+    result.unobserved_static = sorted(
+        edge for edge in comparable if edge not in result.observed
+    )
+    return result

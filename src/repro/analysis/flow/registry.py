@@ -1,0 +1,20 @@
+"""Static registry of simflow rule ids.
+
+Kept free of imports so :mod:`repro.analysis.lint.runner` can learn the
+flow rule ids (for pragma validation — the two passes share the
+``# simlint: disable=`` suppression machinery) without importing the
+dataflow engine, and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Skb typestate rules (rules_skb.py).
+SKB_RULE_IDS: Tuple[str, ...] = ("FLOW401", "FLOW402", "FLOW403", "FLOW404")
+
+#: Time-unit taint rules (rules_time.py).
+TIME_RULE_IDS: Tuple[str, ...] = ("TIME501", "TIME502")
+
+#: Every rule id the ``repro flow`` pass can report.
+FLOW_RULE_IDS: Tuple[str, ...] = SKB_RULE_IDS + TIME_RULE_IDS

@@ -16,6 +16,9 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     rules_run: List[str] = field(default_factory=list)
+    #: Findings silenced by a pragma/exemption — kept (not dropped) so
+    #: the baseline ratchet can freeze the suppression inventory.
+    suppressed: List[Finding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -55,6 +58,14 @@ def render_json(result: LintResult) -> str:
         "files_checked": result.files_checked,
         "rules_run": list(result.rules_run),
         "counts_by_rule": result.counts_by_rule(),
+        "suppressed": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "rule": f.rule,
+            }
+            for f in result.suppressed
+        ],
         "findings": [
             {
                 "path": f.path,

@@ -13,6 +13,7 @@ from repro.analysis.lint.core import (
     meta_findings,
     module_name_for,
 )
+from repro.analysis.flow.registry import FLOW_RULE_IDS
 from repro.analysis.lint.report import LintResult
 from repro.analysis.lint.rules_des import DES_RULES
 from repro.analysis.lint.rules_determinism import DETERMINISM_RULES
@@ -20,6 +21,13 @@ from repro.analysis.lint.rules_race import RACE_RULES
 
 #: Every rule, in catalogue order.
 ALL_RULES: Tuple[Rule, ...] = DETERMINISM_RULES + DES_RULES + RACE_RULES
+
+
+def known_rule_ids() -> List[str]:
+    """Every rule id either pass can report — lint and flow share the
+    ``# simlint:`` pragma namespace, so a pragma naming a flow rule is
+    legal in a lint run and vice versa."""
+    return [rule.id for rule in ALL_RULES] + list(FLOW_RULE_IDS)
 
 #: Directory names never descended into.
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
@@ -78,7 +86,6 @@ def lint_paths(
         for path in iter_python_files(paths)
     ]
     project = Project(files=files)
-    known_ids = [rule.id for rule in ALL_RULES]
 
     findings: List[Finding] = []
     for rule in selected:
@@ -87,18 +94,22 @@ def lint_paths(
     # that cannot be parsed was not checked, and silence would be a lie.
     by_path = {ctx.path: ctx for ctx in files}
     for ctx in files:
-        findings.extend(meta_findings(ctx, known_ids))
+        findings.extend(meta_findings(ctx, known_rule_ids()))
 
-    kept = [
-        finding
-        for finding in findings
-        if not _suppressed(by_path.get(finding.path), finding)
-    ]
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        if _suppressed(by_path.get(finding.path), finding):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
     kept.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
     return LintResult(
         findings=kept,
         files_checked=len(files),
         rules_run=[rule.id for rule in selected],
+        suppressed=suppressed,
     )
 
 

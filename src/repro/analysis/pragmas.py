@@ -13,7 +13,11 @@ Three pragma forms, narrowest first:
 
 ``# simlint: disable=SIM101`` (trailing comment)
     Suppress the listed rule ids on this line only. Multiple ids are
-    comma-separated; ``all`` suppresses every rule on the line.
+    comma-separated; ``all`` suppresses every rule on the line. When the
+    pragma is a *standalone* comment (no code on its line), it binds to
+    the next line that holds code — so a pragma placed above a statement
+    suppresses that statement instead of silently suppressing nothing. A
+    standalone pragma with no following code is reported as malformed.
 
 ``@lint_exempt("SIM101", reason="...")``
     Suppress the listed rule ids for the whole decorated function. The
@@ -99,6 +103,20 @@ class FilePragmas:
         return False
 
 
+#: Token types that do not count as code on a line (for pragma binding).
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
 def _comments(source: str) -> List[Tuple[int, str]]:
     """``(line, comment text)`` for every real comment token.
 
@@ -117,6 +135,31 @@ def _comments(source: str) -> List[Tuple[int, str]]:
     return found
 
 
+def _code_lines(source: str) -> Set[int]:
+    """Line numbers (1-based) on which actual code starts."""
+    lines: Set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type not in _NON_CODE_TOKENS:
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return lines
+
+
+def _binding_line(lineno: int, code_lines: Set[int]) -> "int | None":
+    """The line a ``disable=`` pragma at ``lineno`` applies to.
+
+    Trailing pragmas (code on the same line) bind to that line; a
+    standalone comment pragma binds to the next code line. None when no
+    code follows — the pragma suppresses nothing and is malformed.
+    """
+    if lineno in code_lines:
+        return lineno
+    following = [line for line in code_lines if line > lineno]
+    return min(following) if following else None
+
+
 def parse_pragmas(source: str) -> FilePragmas:
     """Extract ``# simlint:`` comment pragmas from source text.
 
@@ -124,6 +167,7 @@ def parse_pragmas(source: str) -> FilePragmas:
     of being silently dropped.
     """
     pragmas = FilePragmas()
+    code_lines = _code_lines(source)
     for lineno, comment in _comments(source):
         match = PRAGMA_RE.search(comment)
         if match is None:
@@ -146,5 +190,15 @@ def parse_pragmas(source: str) -> FilePragmas:
         if match.group("kind") == "disable-file":
             pragmas.file_rules |= good
         else:
-            pragmas.line_rules.setdefault(lineno, set()).update(good)
+            target = _binding_line(lineno, code_lines)
+            if target is None:
+                pragmas.malformed.append(
+                    (
+                        lineno,
+                        "standalone simlint pragma binds to no statement "
+                        "(no code follows it)",
+                    )
+                )
+                continue
+            pragmas.line_rules.setdefault(target, set()).update(good)
     return pragmas

@@ -86,6 +86,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--split-gro", action="store_true")
 
 
+def _add_baseline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="enforce the suppressed-findings ratchet against FILE "
+        "(new or stale suppressions fail)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="regenerate the suppressed-findings baseline into FILE",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -138,6 +154,46 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    _add_baseline_args(lint)
+
+    flow = sub.add_parser(
+        "flow",
+        help="run the simflow dataflow pass (skb typestate, time-unit "
+        "taint, static/dynamic stage-graph cross-check)",
+    )
+    flow.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    flow.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    flow.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable, e.g. --rule FLOW402)",
+    )
+    flow.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    flow.add_argument(
+        "--trace",
+        nargs="*",
+        default=None,
+        metavar="GOLDEN_JSON",
+        help="cross-check the static stage graph against golden traces "
+        "(default: every trace in tests/goldens); skips the dataflow rules",
+    )
+    flow.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the derived stage-order spec as JSON and exit",
+    )
+    _add_baseline_args(flow)
 
     validate = sub.add_parser(
         "validate",
@@ -167,6 +223,34 @@ def build_parser() -> argparse.ArgumentParser:
         "the command must then fail)",
     )
     return parser
+
+
+def _apply_baseline(args, result, label: str) -> Optional[int]:
+    """Handle --baseline / --write-baseline; None means keep going."""
+    from repro.analysis.baseline import (
+        check_baseline,
+        load_baseline_file,
+        render_baseline,
+    )
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(result))
+        print(f"repro {label}: baseline written to {args.write_baseline}")
+        return 0 if result.ok else 1
+    if args.baseline:
+        try:
+            frozen = load_baseline_file(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro {label}: {exc}", file=sys.stderr)
+            return 2
+        errors = check_baseline(result, frozen)
+        for error in errors:
+            print(f"baseline: {error}", file=sys.stderr)
+        if errors or not result.ok:
+            return 1
+        return 0
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -201,6 +285,42 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
         print(render_json(result) if args.fmt == "json" else render_text(result))
+        baseline_rc = _apply_baseline(args, result, "lint")
+        if baseline_rc is not None:
+            return baseline_rc
+        return 0 if result.ok else 1
+
+    if args.command == "flow":
+        from repro.analysis.flow import FLOW_RULES, cross_check, flow_paths, stage_order_spec
+        from repro.analysis.lint import render_json, render_text
+
+        if args.list_rules:
+            for rule in FLOW_RULES:
+                scope = (
+                    ", ".join(rule.scope) if rule.scope else "all analyzed files"
+                )
+                print(f"{rule.id}  {rule.title}")
+                print(f"    scope: {scope}")
+                print(f"    {rule.rationale}")
+            return 0
+        if args.dump_spec:
+            import json as _json
+
+            print(_json.dumps(stage_order_spec().describe(), indent=2, sort_keys=True))
+            return 0
+        if args.trace is not None:
+            check = cross_check(args.trace)
+            print(check.to_json() if args.fmt == "json" else check.to_text())
+            return 0 if check.ok else 1
+        try:
+            result = flow_paths(args.paths, rule_ids=args.rule)
+        except ValueError as exc:
+            print(f"repro flow: {exc}", file=sys.stderr)
+            return 2
+        print(render_json(result) if args.fmt == "json" else render_text(result))
+        baseline_rc = _apply_baseline(args, result, "flow")
+        if baseline_rc is not None:
+            return baseline_rc
         return 0 if result.ok else 1
 
     if args.command == "validate":

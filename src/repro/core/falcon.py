@@ -13,7 +13,7 @@ stock overlay network.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable
 
 from repro.core.balancing import make_balancer
 from repro.core.config import FalconConfig
@@ -62,7 +62,7 @@ class FalconSteering:
             self.machine, self.config.cpus, skb.hash, ifindex
         )
 
-    def selector(self, ifindex: int):
+    def selector(self, ifindex: int) -> Callable[[Skb, int], int]:
         """Bind this steering instance to a device, for use as a
         :class:`~repro.kernel.stages.EnqueueTransition` selector."""
 
@@ -71,7 +71,9 @@ class FalconSteering:
 
         return _select
 
-    def split_selector(self, ifindex: int, split_same_core: bool):
+    def split_selector(
+        self, ifindex: int, split_same_core: bool
+    ) -> Callable[[Skb, int], int]:
         """Selector for a *split* half-stage.
 
         ``split_same_core`` implements the Section 6.4 workaround: target
@@ -92,7 +94,7 @@ class VanillaSteering:
     exist (they are part of the kernel) but never move packets.
     """
 
-    def selector(self, ifindex: int):
+    def selector(self, ifindex: int) -> Callable[[Skb, int], int]:
         def _select(skb: Skb, current_cpu: int) -> int:
             return current_cpu
 

@@ -20,7 +20,7 @@ replace it (merged super-packet continues down the pipe).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Protocol, Tuple
+from typing import Callable, List, Optional, Protocol, Tuple
 
 from repro.kernel.costs import FuncCost
 from repro.kernel.skb import Skb
@@ -50,7 +50,9 @@ class Step:
 
     __slots__ = ("name", "cost", "effect")
 
-    def __init__(self, name: str, cost: CostFn, effect: Optional[Effect] = None):
+    def __init__(
+        self, name: str, cost: CostFn, effect: Optional[Effect] = None
+    ) -> None:
         self.name = name
         self.cost = cost
         self.effect = effect

@@ -1,0 +1,12 @@
+"""FLOW401: stage calls that move the packet backwards in the pipeline."""
+
+
+class BridgeReplay:
+    def replay(self, stack, skb):
+        stack.br_handle_frame(skb)  # container-side bridge: rank 5
+        stack.vxlan_rcv(skb)  # expect: FLOW401
+
+
+def reprocess(stack, skb):
+    stack.udp_rcv(skb)  # outer UDP receive: rank 4
+    stack.napi_gro_receive(skb)  # expect: FLOW401

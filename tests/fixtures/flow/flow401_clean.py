@@ -1,0 +1,19 @@
+"""Clean twin of flow401_bad: the packet only moves forward."""
+
+
+class ForwardPath:
+    def run(self, stack, skb):
+        stack.napi_gro_receive(skb)
+        stack.process_backlog(skb)
+        stack.udp_rcv(skb)
+
+
+def branchy(stack, skb, steer):
+    # Joining two legal positions must not invent a violation: after the
+    # branch the abstract state is a set, and FLOW401 only fires when
+    # EVERY position is past the called stage.
+    if steer:
+        stack.enqueue_backlog(2, skb, None, 0)
+    else:
+        stack.netif_rx(skb)
+    stack.process_backlog(skb)

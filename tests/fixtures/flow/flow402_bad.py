@@ -1,0 +1,17 @@
+"""FLOW402: the packet re-enters the pipeline after socket delivery."""
+
+
+def forward_after_delivery(stack, skb, cpu):
+    stack.deliver_to_socket(skb, cpu)
+    stack.enqueue_backlog(cpu, skb, None, cpu)  # expect: FLOW402
+
+
+def finish(stack, skb, cpu):
+    # Helper that ends the packet's pipeline life; its effect on `skb`
+    # is summarized interprocedurally.
+    stack.deliver_to_socket(skb, cpu)
+
+
+def replay_delivered(stack, skb, cpu):
+    finish(stack, skb, cpu)
+    stack.netif_rx(skb)  # expect: FLOW402

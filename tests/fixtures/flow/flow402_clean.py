@@ -1,0 +1,15 @@
+"""Clean twin of flow402_bad: delivery is the end of the pipeline."""
+
+
+def deliver_and_consume(stack, skb, cpu):
+    stack.deliver_to_socket(skb, cpu)
+    stack.consume_skb(skb)  # normal end of life after delivery
+
+
+def hand_off(stack, skb, cpu):
+    # Delivering through the summarized helper and then stopping is fine.
+    finish_ok(stack, skb, cpu)
+
+
+def finish_ok(stack, skb, cpu):
+    stack.deliver_to_socket(skb, cpu)

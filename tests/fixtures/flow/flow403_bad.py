@@ -1,0 +1,11 @@
+"""FLOW403: double free and use-after-free of an skb."""
+
+
+def use_after_free(stack, skb):
+    stack.consume_skb(skb)
+    stack.netif_rx(skb)  # expect: FLOW403
+
+
+def double_free(stack, skb):
+    stack.consume_skb(skb)
+    stack.free_skb(skb)  # expect: FLOW403

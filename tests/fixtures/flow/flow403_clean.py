@@ -1,0 +1,16 @@
+"""Clean twin of flow403_bad: frees on disjoint paths only."""
+
+
+def free_and_return(stack, skb, done):
+    if done:
+        stack.consume_skb(skb)
+        return
+    stack.netif_rx(skb)
+
+
+def maybe_free(stack, skb, done):
+    # One branch frees, the other does not: at the join the packet is
+    # only *possibly* freed, and the must-analysis stays silent.
+    if done:
+        stack.consume_skb(skb)
+    stack.process_backlog(skb)

@@ -1,0 +1,10 @@
+"""FLOW404: packet dropped without a drop-counter increment."""
+
+
+class BacklogPressure:
+    def shed(self, stack, skb):
+        stack.kfree_skb(skb)  # expect: FLOW404
+
+
+def shed_oldest(stack, old_skb):
+    stack.drop_skb(old_skb)  # expect: FLOW404

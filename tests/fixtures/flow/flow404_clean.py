@@ -1,0 +1,15 @@
+"""Clean twin of flow404_bad: every drop is accounted for."""
+
+
+class BacklogPressure:
+    def __init__(self):
+        self.drops = 0
+
+    def shed(self, stack, skb):
+        self.drops += 1
+        stack.kfree_skb(skb)
+
+
+def shed_oldest(stack, monitor, old_skb):
+    monitor.on_terminal(old_skb, "backlog_drop")
+    stack.drop_skb(old_skb)

@@ -1,0 +1,11 @@
+"""TIME501: arithmetic across different time units."""
+
+
+def total_latency(delay_us, gap_ns):
+    return delay_us + gap_ns  # expect: TIME501
+
+
+def remaining_budget():
+    window_ms = 5.0
+    slack_us = 250.0
+    return window_ms - slack_us  # expect: TIME501

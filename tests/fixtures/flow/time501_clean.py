@@ -1,0 +1,14 @@
+"""Clean twin of time501_bad: convert through the clock factors first."""
+
+from repro.sim import clock
+
+
+def total_latency(delay_us, gap_ns):
+    return delay_us + gap_ns * clock.NS
+
+
+def remaining_budget():
+    window_ms = 5.0
+    slack_us = 250.0
+    window_us = window_ms * clock.MS
+    return window_us - slack_us

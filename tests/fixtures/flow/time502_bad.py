@@ -1,0 +1,12 @@
+"""TIME502: wall-clock time steering the DES scheduler."""
+
+import time
+
+
+def arm_timer(sim, handler):
+    start = time.time()
+    sim.schedule(start, handler)  # expect: TIME502
+
+
+def arm_direct(sim, handler):
+    sim.schedule_at(time.monotonic(), handler)  # expect: TIME502

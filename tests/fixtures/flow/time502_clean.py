@@ -1,0 +1,9 @@
+"""Clean twin of time502_bad: wall time only times the harness itself."""
+
+import time
+
+
+def arm_timer(sim, delay_us, handler):
+    t_start = time.time()
+    sim.schedule(delay_us, handler)
+    return time.time() - t_start

@@ -221,3 +221,70 @@ class TestPragmas:
 
         assert helper.__simlint_exempt__ == ("SIM101",)
         assert helper() == 0
+
+
+class TestPragmaBinding:
+    """A standalone ``# simlint: disable=`` comment binds to the next
+    statement instead of silently suppressing nothing (regression tests
+    for the blank/comment-line binding fix)."""
+
+    def test_standalone_pragma_binds_to_next_statement(self):
+        pragmas = parse_pragmas(
+            "# simlint: disable=SIM101\n"
+            "x = 1\n"
+        )
+        assert pragmas.suppresses("SIM101", 2)
+        assert not pragmas.suppresses("SIM101", 1)
+        assert not pragmas.malformed
+
+    def test_pragma_skips_blank_and_comment_lines(self):
+        pragmas = parse_pragmas(
+            "# simlint: disable=DES202\n"
+            "\n"
+            "# an unrelated comment\n"
+            "y = 2\n"
+        )
+        assert pragmas.suppresses("DES202", 4)
+        assert not pragmas.suppresses("DES202", 2)
+        assert not pragmas.suppresses("DES202", 3)
+
+    def test_stacked_standalone_pragmas_accumulate(self):
+        pragmas = parse_pragmas(
+            "# simlint: disable=SIM101\n"
+            "# simlint: disable=SIM102\n"
+            "z = 3\n"
+        )
+        assert pragmas.suppresses("SIM101", 3)
+        assert pragmas.suppresses("SIM102", 3)
+
+    def test_trailing_pragma_still_binds_to_its_own_line(self):
+        pragmas = parse_pragmas("w = 4  # simlint: disable=SIM101\n")
+        assert pragmas.suppresses("SIM101", 1)
+        assert not pragmas.suppresses("SIM101", 2)
+
+    def test_pragma_at_eof_is_malformed(self):
+        pragmas = parse_pragmas(
+            "v = 5\n"
+            "# simlint: disable=SIM101\n"
+        )
+        assert not pragmas.suppresses("SIM101", 1)
+        assert not pragmas.suppresses("SIM101", 2)
+        assert len(pragmas.malformed) == 1
+        assert "no code follows" in pragmas.malformed[0][1]
+
+    def test_standalone_pragma_suppresses_through_the_runner(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "import random\n"
+            "# simlint: disable=SIM102\n"
+            "x = random.random()\n"
+        )
+        result = lint_paths([str(src)])
+        assert result.ok, render_text(result)
+        assert [f.rule for f in result.suppressed] == ["SIM102"]
+
+    def test_eof_pragma_is_reported_by_the_runner(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1\n# simlint: disable=SIM101\n")
+        result = lint_paths([str(src)])
+        assert [f.rule for f in result.findings] == ["LINT000"]
