@@ -70,7 +70,15 @@ _CONVERSIONS = {"us_to_seconds": "s", "seconds_to_us": "us"}
 _TRANSPARENT_CALLS = ("min", "max", "abs", "round", "sum", "float", "int")
 
 #: Scheduler entry points that must never see wall time (TIME502).
-_SCHEDULER_CALLS = ("schedule", "schedule_at", "submit", "submit_multi")
+_SCHEDULER_CALLS = (
+    "schedule",
+    "schedule_at",
+    "post",
+    "post_at",
+    "post_batch",
+    "submit",
+    "submit_multi",
+)
 
 
 def suffix_unit(name: str) -> Optional[str]:

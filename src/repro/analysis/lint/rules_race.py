@@ -65,6 +65,9 @@ SERIALIZATION_CALLS: Set[str] = {
     "enqueue_to_backlog",
     "schedule",
     "schedule_at",
+    "post",
+    "post_at",
+    "post_batch",
     "submit",
     "submit_multi",
 }

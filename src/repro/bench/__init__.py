@@ -1,0 +1,31 @@
+"""Performance benchmark harness (the ``repro bench`` subcommand).
+
+This package establishes the perf baseline the ROADMAP's "as fast as the
+hardware allows" goal is measured against. It fans a suite of benchmarks
+— event-engine microbenches, sockperf-style scenarios, and the figure
+reproductions — out across worker processes (one fully isolated
+:class:`~repro.sim.context.SimContext` world per worker), records
+events/sec and wall time for each, and emits a ``BENCH_<timestamp>.json``
+document whose schema is validated by :mod:`repro.bench.schema`.
+
+Unlike the simulation packages, this harness legitimately reads the wall
+clock (it measures host time) and uses ``multiprocessing`` (it measures
+the host, not the simulated machine) — it lives outside the simulated
+scope the DES-discipline lint rules police, and its timing goes through
+the tree's one sanctioned wall-clock helper
+(:func:`repro.experiments.run_all.wall_seconds`).
+"""
+
+from repro.bench.harness import run_bench, write_bench_doc
+from repro.bench.schema import SCHEMA_ID, validate_bench_doc
+from repro.bench.suite import all_specs, execute, specs_for
+
+__all__ = [
+    "SCHEMA_ID",
+    "all_specs",
+    "execute",
+    "run_bench",
+    "specs_for",
+    "validate_bench_doc",
+    "write_bench_doc",
+]

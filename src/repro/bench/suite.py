@@ -1,0 +1,253 @@
+"""The benchmark suite: what ``repro bench`` actually runs.
+
+Three kinds of benchmark, probing three layers:
+
+* ``engine`` — event-core microbenches driving one
+  :class:`~repro.sim.engine.Simulator` directly: schedule/cancel churn
+  against each scheduler implementation, and a ``post_batch`` NAPI-storm
+  pattern. These isolate raw events/sec.
+* ``scenario`` — sockperf-style :class:`~repro.workloads.sockperf.Testbed`
+  runs (UDP stress vanilla/Falcon, TCP stream Falcon): the whole stack,
+  one host, headline packet rates.
+* ``figure`` — full figure reproductions from
+  :mod:`repro.experiments.run_all`; their headline is the figure's raw
+  series, so a perf regression and a *result* regression both surface.
+
+Every benchmark derives its own seed from the run's root seed and its
+name, so runs are reproducible and benchmarks are independently
+perturbable — exactly the :class:`~repro.sim.rng.RngRegistry` rule,
+applied one level up.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry, _derive_seed
+
+#: Figures included in ``--quick`` runs (one per experiment family:
+#: serialization microbench, stress throughput, latency distribution).
+QUICK_FIGURES = ("fig05_serialization", "fig10_udp_stress", "fig12_latency")
+
+ALL_FIGURES = (
+    "fig02_motivation",
+    "fig04_interrupts",
+    "fig05_serialization",
+    "fig06_flamegraph",
+    "fig09_splitting",
+    "fig10_udp_stress",
+    "fig11_cpu_util",
+    "fig12_latency",
+    "fig13_multiflow",
+    "fig14_multicontainer",
+    "fig15_threshold",
+    "fig16_adaptability",
+    "fig17_webserving",
+    "fig18_datacaching",
+    "fig19_overhead",
+)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One runnable benchmark."""
+
+    name: str
+    kind: str  # "engine" | "scenario" | "figure"
+    #: Included in ``--quick`` runs.
+    quick: bool
+
+
+def all_specs() -> List[BenchSpec]:
+    """The full suite, in deterministic order."""
+    specs = [
+        BenchSpec("engine-churn-heap", "engine", True),
+        BenchSpec("engine-churn-calendar", "engine", True),
+        BenchSpec("engine-post-batch-storm", "engine", True),
+        BenchSpec("scenario-udp-stress-vanilla", "scenario", True),
+        BenchSpec("scenario-udp-stress-falcon", "scenario", True),
+        BenchSpec("scenario-tcp-stream-falcon", "scenario", True),
+    ]
+    for figure in ALL_FIGURES:
+        specs.append(BenchSpec(f"figure-{figure}", "figure", figure in QUICK_FIGURES))
+    return specs
+
+
+def specs_for(
+    quick: bool = False, only: Optional[List[str]] = None
+) -> List[BenchSpec]:
+    """The benchmarks a run selects (``--quick`` subset, ``--only`` filter)."""
+    specs = all_specs()
+    if only:
+        wanted = set(only)
+        unknown = wanted - {spec.name for spec in specs}
+        if unknown:
+            raise ValueError(f"unknown benchmark(s): {sorted(unknown)}")
+        return [spec for spec in specs if spec.name in wanted]
+    if quick:
+        return [spec for spec in specs if spec.quick]
+    return specs
+
+
+def derive_bench_seed(root_seed: int, name: str) -> int:
+    """Per-benchmark seed: stable in the root seed and the bench name."""
+    # Testbed seeds shift client IP/port allocation; keep them small.
+    return _derive_seed(root_seed, f"bench/{name}") % 100_000
+
+
+# ----------------------------------------------------------------------
+# Engine microbenches
+# ----------------------------------------------------------------------
+def _sink() -> None:
+    """Do-nothing event payload for engine microbenches."""
+
+
+def _engine_churn(scheduler: str, seed: int, quick: bool) -> Dict[str, Any]:
+    """Self-sustaining schedule/cancel churn against one scheduler.
+
+    90% of events land in the near future (the packet-run distribution
+    the calendar queue is tuned for), 10% far out; a third of ticks also
+    schedule a cancellable timer, half of which are cancelled — the
+    lazy-cancellation-plus-compaction path.
+    """
+    sim = Simulator(scheduler)
+    rng = RngRegistry(seed).stream("bench/churn")
+    remaining = 20_000 if quick else 200_000
+    cancels = 0
+
+    def tick() -> None:
+        nonlocal remaining, cancels
+        if remaining <= 0:
+            return
+        remaining -= 1
+        if rng.random() < 0.9:
+            delay = rng.random() * 4.0
+        else:
+            delay = 400.0 + rng.random() * 600.0
+        sim.post(delay, tick)
+        if rng.random() < 0.3:
+            handle = sim.schedule(rng.random() * 50.0, _sink)
+            if rng.random() < 0.5:
+                sim.cancel(handle)
+                cancels += 1
+
+    for _ in range(64):
+        sim.post(rng.random(), tick)
+    sim.run()
+    return {
+        "scheduler": scheduler,
+        "final_clock_us": round(sim.now, 3),
+        "cancelled": cancels,
+        "sim_events": sim.events_processed,
+    }
+
+
+def _engine_post_batch_storm(seed: int, quick: bool) -> Dict[str, Any]:
+    """NAPI poll-storm pattern: bursts of same-instant continuations.
+
+    Each round bulk-inserts one batch of per-packet continuations via
+    :meth:`~repro.sim.engine.Simulator.post_batch` — the shape a NAPI
+    poll round produces — then schedules the next round.
+    """
+    sim = Simulator()
+    rounds = 500 if quick else 5_000
+    batch = 64
+    done = 0
+
+    def packet(_index: int) -> None:
+        nonlocal done
+        done += 1
+
+    def poll_round(round_index: int) -> None:
+        if round_index >= rounds:
+            return
+        sim.post_batch(1.0, packet, [(i,) for i in range(batch)])
+        sim.post(1.0, poll_round, round_index + 1)
+
+    sim.post(0.0, poll_round, 0)
+    sim.run()
+    return {
+        "rounds": rounds,
+        "batch": batch,
+        "packets": done,
+        "final_clock_us": round(sim.now, 3),
+        "sim_events": sim.events_processed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario benches
+# ----------------------------------------------------------------------
+def _scenario(name: str, seed: int, quick: bool) -> Dict[str, Any]:
+    from repro.core.config import FalconConfig
+    from repro.workloads.sockperf import Experiment
+
+    duration_ms = 4.0 if quick else 25.0
+    warmup_ms = 2.0 if quick else 10.0
+    falcon = FalconConfig(cpus=[3, 4, 5, 6])
+    if name == "scenario-udp-stress-vanilla":
+        exp = Experiment(mode="overlay", seed=seed)
+        result = exp.run_udp_stress(1024, duration_ms=duration_ms, warmup_ms=warmup_ms)
+    elif name == "scenario-udp-stress-falcon":
+        exp = Experiment(mode="overlay", falcon=falcon, seed=seed)
+        result = exp.run_udp_stress(1024, duration_ms=duration_ms, warmup_ms=warmup_ms)
+    elif name == "scenario-tcp-stream-falcon":
+        exp = Experiment(mode="overlay", falcon=falcon, seed=seed)
+        result = exp.run_tcp_stream(4096, duration_ms=duration_ms, warmup_ms=warmup_ms)
+    else:
+        raise ValueError(f"unknown scenario benchmark {name!r}")
+    return {
+        "mode": result.mode,
+        "proto": result.proto,
+        "message_rate_pps": round(result.message_rate_pps, 1),
+        "goodput_gbps": round(result.goodput_gbps, 4),
+        "p99_latency_us": round(result.p99_latency_us, 2),
+        "drops": result.drops,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure benches
+# ----------------------------------------------------------------------
+def _json_safe(value: Any) -> Any:
+    """Reduce an arbitrary result structure to JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, float):
+        return round(value, 6)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)
+
+
+def _figure(name: str, quick: bool) -> Dict[str, Any]:
+    module = importlib.import_module(f"repro.experiments.{name}")
+    output = module.run(quick=quick)
+    return {
+        "figure": output.figure,
+        "title": output.title,
+        "series": _json_safe(output.series),
+    }
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def execute(name: str, seed: int, quick: bool) -> Dict[str, Any]:
+    """Run one benchmark by name; returns its headline metrics."""
+    if name == "engine-churn-heap":
+        return _engine_churn("heap", seed, quick)
+    if name == "engine-churn-calendar":
+        return _engine_churn("calendar", seed, quick)
+    if name == "engine-post-batch-storm":
+        return _engine_post_batch_storm(seed, quick)
+    if name.startswith("scenario-"):
+        return _scenario(name, seed, quick)
+    if name.startswith("figure-"):
+        return _figure(name[len("figure-"):], quick)
+    raise ValueError(f"unknown benchmark {name!r}")

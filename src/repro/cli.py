@@ -7,6 +7,7 @@ Examples::
     python -m repro.cli tcp      --mode overlay --size 4096 --falcon --split-gro
     python -m repro.cli latency  --size 16 --rate 300000
     python -m repro.cli figures  --quick --only fig10_udp_stress
+    python -m repro.cli bench    --quick --out results
 
 `figures` delegates to :mod:`repro.experiments.run_all`; the other
 subcommands build a single scenario and print one result row plus the
@@ -195,6 +196,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_baseline_args(flow)
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance benchmark suite and emit BENCH_<ts>.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="quick subset (CI perf-smoke mode)"
+    )
+    bench.add_argument("--out", default="results", help="output directory")
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: min(4, cpus))",
+    )
+    bench.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated benchmark names (see --list)",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="root seed")
+    bench.add_argument(
+        "--scheduler",
+        choices=["heap", "calendar"],
+        default="heap",
+        help="event-scheduler implementation benchmarks run under",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="validate an existing BENCH_*.json against the schema and exit",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_benches",
+        help="print the benchmark catalogue and exit",
+    )
+
     validate = sub.add_parser(
         "validate",
         help="run the simulator validation suites (invariants, differential, golden)",
@@ -322,6 +360,64 @@ def main(argv: Optional[List[str]] = None) -> int:
         if baseline_rc is not None:
             return baseline_rc
         return 0 if result.ok else 1
+
+    if args.command == "bench":
+        import json as _json
+
+        from repro.bench import (
+            all_specs,
+            run_bench,
+            validate_bench_doc,
+            write_bench_doc,
+        )
+
+        if args.list_benches:
+            for spec in all_specs():
+                marker = "quick" if spec.quick else "full "
+                print(f"{marker}  {spec.kind:<8}  {spec.name}")
+            return 0
+        if args.check:
+            try:
+                with open(args.check, "r", encoding="utf-8") as handle:
+                    doc = _json.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"repro bench: {exc}", file=sys.stderr)
+                return 2
+            problems = validate_bench_doc(doc)
+            for problem in problems:
+                print(f"schema: {problem}", file=sys.stderr)
+            print(
+                f"repro bench: {args.check} "
+                + ("FAILED schema check" if problems else "schema ok")
+            )
+            return 1 if problems else 0
+        only = args.only.split(",") if args.only else None
+        try:
+            doc = run_bench(
+                quick=args.quick,
+                workers=args.workers,
+                only=only,
+                root_seed=args.seed,
+                scheduler=args.scheduler,
+            )
+        except ValueError as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
+        path = write_bench_doc(doc, args.out)
+        for entry in doc["benchmarks"]:
+            rate = (
+                f"{entry['events_per_sec']:>12,.0f} ev/s"
+                if entry["status"] == "ok"
+                else f"ERROR {entry['error']}"
+            )
+            print(f"{entry['name']:<36} {entry['wall_s']:>8.3f}s  {rate}")
+        totals = doc["totals"]
+        print(
+            f"bench: {totals['ok']}/{len(doc['benchmarks'])} ok, "
+            f"{totals['events']:,} events in {totals['wall_s']:.2f}s "
+            f"({totals['events_per_sec']:,.0f} ev/s aggregate) -> {path}"
+        )
+        return 1 if totals["errors"] else 0
 
     if args.command == "validate":
         from repro.validate import run_validation

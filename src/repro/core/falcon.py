@@ -27,6 +27,10 @@ class FalconSteering:
     def __init__(self, machine: Machine, config: FalconConfig) -> None:
         config.validate(machine.num_cpus)
         self.machine = machine
+        #: The run's :class:`~repro.sim.context.SimContext`; balancers
+        #: needing randomness must draw named streams from it so two
+        #: Falcon instances in one process stay independent.
+        self.ctx = machine.ctx
         self.config = config
         self.balancer = make_balancer(config)
         # --- statistics -------------------------------------------------

@@ -68,7 +68,7 @@ class Link:
         finish = start + self.serialization_us(nbytes)
         self._next_free = finish
         arrival = finish + self.propagation_us
-        self.sim.schedule_at(arrival, deliver)
+        self.sim.post_at(arrival, deliver)
         self.frames_sent += 1
         self.bytes_sent += nbytes
         return arrival

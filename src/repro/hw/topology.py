@@ -15,6 +15,7 @@ from repro.hw.cache import LocalityModel
 from repro.hw.cpu import Cpu
 from repro.metrics.counters import InterruptCounters
 from repro.metrics.cpuacct import CpuAccounting
+from repro.sim.context import SimContext
 from repro.sim.engine import Simulator
 from repro.sim.errors import ConfigurationError
 from repro.sim.rng import RngRegistry
@@ -31,17 +32,26 @@ class Machine:
         locality: Optional[LocalityModel] = None,
         rng: Optional[RngRegistry] = None,
         name: str = "host",
+        ctx: Optional[SimContext] = None,
     ) -> None:
         if num_cpus < 1:
             raise ConfigurationError("machine needs at least one CPU")
-        self.sim = sim
+        if ctx is None:
+            # Legacy construction path: wrap the run state in a private
+            # context so downstream code can rely on ``machine.ctx``.
+            ctx = SimContext(sim=sim, rng=rng, name=name)
+        self.ctx = ctx
+        self.sim = ctx.sim
         self.name = name
         self.acct = CpuAccounting()
         self.interrupts = InterruptCounters()
-        self.cpus: List[Cpu] = [Cpu(sim, index, self.acct) for index in range(num_cpus)]
+        self.cpus: List[Cpu] = [
+            Cpu(ctx.sim, index, self.acct) for index in range(num_cpus)
+        ]
         self.cores_per_socket = cores_per_socket
         self.locality = locality or LocalityModel(cores_per_socket=cores_per_socket)
-        self.rng = rng or RngRegistry()
+        self.rng = rng if rng is not None else ctx.rng
+        ctx.register_monitored(self.interrupts, *self.cpus)
 
     @property
     def num_cpus(self) -> int:

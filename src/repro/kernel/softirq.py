@@ -165,6 +165,10 @@ class SoftirqNet:
         backlog_capacity: int = 1000,
     ) -> None:
         self.machine = machine
+        #: The run's :class:`~repro.sim.context.SimContext` — the softirq
+        #: subsystem draws its RNG stream and tracer from here, never from
+        #: process-global state.
+        self.ctx = machine.ctx
         self.costs = costs
         #: The NetworkStack (routing port for stage exits).
         self.stack = stack
@@ -174,7 +178,7 @@ class SoftirqNet:
             SoftNetData(backlog_capacity, napi_weight)
             for _ in range(machine.num_cpus)
         ]
-        self._ipi_rng = machine.rng.stream("ipi-jitter")
+        self._ipi_rng = self.ctx.stream("ipi-jitter")
         #: Optional :class:`repro.validate.InvariantMonitor` hook.
         self.monitor: Optional[Any] = None
         #: Calls to raise_net_rx (per-packet granularity in the overlay).
@@ -243,9 +247,9 @@ class SoftirqNet:
             delay = self.costs.ipi_delay_us + self._ipi_rng.random() * (
                 self.costs.ipi_jitter_us
             )
-            self.machine.sim.schedule(delay, self._kick, cpu_index)
+            self.machine.sim.post(delay, self._kick, cpu_index)
         else:
-            self.machine.sim.schedule(
+            self.machine.sim.post(
                 self.costs.softirq_entry_us, self._kick, cpu_index
             )
 
@@ -336,7 +340,7 @@ class SoftirqNet:
             # The core moves to a different device's softirq context.
             charges.append(("softirq_switch", self.costs.softirq_switch.fixed))
             data.last_stage = first_stage.name
-        tracer = getattr(self.stack, "tracer", None)
+        tracer = self.ctx.tracer
         now = self.machine.sim.now
         for skb, stage in items:
             if tracer is not None and tracer.wants(skb):

@@ -49,6 +49,7 @@ from repro.kernel.softirq import SoftirqNet
 from repro.kernel.stages import EnqueueTransition, SocketDeliver, Stage, Step
 from repro.kernel.steering import Rfs, Rps
 from repro.kernel.timers import LoadTracker
+from repro.sim.context import SimContext
 from repro.sim.engine import Simulator
 from repro.sim.errors import ConfigurationError
 
@@ -94,15 +95,32 @@ class StackConfig:
 
 
 class NetworkStack:
-    """One host's in-kernel receive pipeline."""
+    """One host's in-kernel receive pipeline.
 
-    def __init__(self, sim: Simulator, machine: Machine, config: StackConfig) -> None:
+    The first argument accepts either the run's :class:`SimContext` (the
+    preferred form — the stack joins that context) or a bare
+    :class:`Simulator` (legacy form — the stack joins ``machine.ctx``,
+    which wraps the same simulator).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator | SimContext",
+        machine: Machine,
+        config: StackConfig,
+    ) -> None:
         if config.mode not in (MODE_HOST, MODE_OVERLAY):
             raise ConfigurationError(f"unknown stack mode {config.mode!r}")
-        self.sim = sim
+        if isinstance(sim, SimContext):
+            self.ctx = sim
+        else:
+            self.ctx = machine.ctx
+        self.sim = self.ctx.sim
         self.machine = machine
         self.config = config
         self.costs = config.resolve_costs()
+        if self.ctx.costs is None:
+            self.ctx.costs = self.costs
         self.is_overlay = config.mode == MODE_OVERLAY
 
         # --- hardware ----------------------------------------------------
@@ -135,7 +153,7 @@ class NetworkStack:
 
         # --- merge engines -------------------------------------------------
         self.gro = GroCluster(machine.num_cpus) if config.gro_enabled else None
-        self.defrag = DefragEngine(sim)
+        self.defrag = DefragEngine(self.sim)
 
         # --- softirq subsystem ---------------------------------------------
         self.softnet = SoftirqNet(
@@ -154,11 +172,10 @@ class NetworkStack:
         self.unroutable_packets = 0
         #: Pure-ACK packets consumed by the stack (request/response loads).
         self.control_packets = 0
-        #: Optional :class:`repro.metrics.tracing.PacketTracer`.
-        self.tracer = None
         #: Optional :class:`repro.validate.InvariantMonitor`; attached via
-        #: :func:`repro.validate.attach_monitor`, None in normal runs.
-        self.monitor = None
+        #: the context (see the ``monitor`` property), None in normal runs.
+        self._monitor = None
+        self.ctx.register_monitored(self, self.softnet, self.defrag)
 
         # --- stage graph -------------------------------------------------
         self.stages: dict = {}
@@ -175,6 +192,34 @@ class NetworkStack:
             alpha=config.load_alpha,
         )
         self.load_tracker.start()
+
+    # ------------------------------------------------------------------
+    # Context-managed hooks
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The run's packet tracer (owned by the :class:`SimContext`)."""
+        return self.ctx.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.ctx.attach_tracer(value)
+
+    @property
+    def monitor(self):
+        """The run's invariant monitor (owned by the :class:`SimContext`)."""
+        return self._monitor
+
+    @monitor.setter
+    def monitor(self, value) -> None:
+        self._monitor = value
+        # Assigning through the stack attaches context-wide; the context's
+        # own fan-out lands here too, guarded against re-entry.
+        if self.ctx.monitor is not value:
+            if value is None:
+                self.ctx.detach_monitor()
+            else:
+                self.ctx.attach_monitor(value)
 
     # ------------------------------------------------------------------
     # Stage-graph construction
@@ -284,14 +329,14 @@ class NetworkStack:
     def enqueue_backlog(
         self, target_cpu: int, skb: Skb, stage: Stage, from_cpu: int
     ) -> None:
-        tracer = self.tracer
+        tracer = self.ctx.tracer
         if tracer is not None and tracer.wants(skb):
             tracer.record(skb, self.sim.now, "enqueue", stage.name, target_cpu)
         self.softnet.enqueue_backlog(target_cpu, skb, stage, from_cpu)
 
     def deliver_to_socket(self, skb: Skb, cpu_index: int) -> None:
-        tracer = self.tracer
-        monitor = self.monitor
+        tracer = self.ctx.tracer
+        monitor = self._monitor
         if tracer is not None and tracer.wants(skb):
             tracer.record(skb, self.sim.now, "deliver", "socket", cpu_index)
         if skb.meta == "ctl":
@@ -356,8 +401,8 @@ class NetworkStack:
         """A frame arrived from the wire (called at link delivery time)."""
         skb.t_nic = self.sim.now
         accepted = self.nic.receive(skb)
-        if self.monitor is not None:
-            self.monitor.on_inject(skb, accepted)
+        if self._monitor is not None:
+            self._monitor.on_inject(skb, accepted)
         return accepted
 
     # ------------------------------------------------------------------

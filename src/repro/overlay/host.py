@@ -13,6 +13,7 @@ from repro.hw.link import Link
 from repro.hw.topology import Machine
 from repro.kernel.stack import NetworkStack, StackConfig
 from repro.overlay.container import Container
+from repro.sim.context import SimContext
 from repro.sim.engine import Simulator
 from repro.sim.errors import TopologyError
 from repro.sim.rng import RngRegistry
@@ -33,11 +34,12 @@ class Host:
         self.sim = sim
         self.name = name
         self.host_ip = host_ip
-        self.machine = Machine(
-            sim, num_cpus=num_cpus, rng=RngRegistry(seed), name=name
-        )
+        #: The run context every component of this host shares; built
+        #: here, once, and threaded through machine and stack.
+        self.ctx = SimContext(sim=sim, rng=RngRegistry(seed), name=name)
+        self.machine = Machine(sim, num_cpus=num_cpus, name=name, ctx=self.ctx)
         self.config = config or StackConfig()
-        self.stack = NetworkStack(sim, self.machine, self.config)
+        self.stack = NetworkStack(self.ctx, self.machine, self.config)
         self.containers: Dict[str, Container] = {}
         #: Ingress link (remote sender → this host's NIC); set by the
         #: testbed/OverlayNetwork wiring.

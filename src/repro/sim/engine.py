@@ -1,56 +1,63 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is a classic calendar-queue simulator: events are ``(time,
-sequence)``-ordered callbacks kept in a binary heap. Determinism matters —
-two runs with the same seed must produce identical results, so ties in
-event time are broken by insertion order, never by object identity.
+The engine is an event loop over a pluggable priority queue: events are
+``(time, sequence)``-ordered callbacks held by a
+:class:`~repro.sim.scheduler.Scheduler`. Determinism matters — two runs
+with the same seed must produce identical results, so ties in event time
+are broken by insertion order, never by object identity, and every
+scheduler implementation honours that ordering exactly.
 
 Design notes
 ------------
 * Events are lightweight ``__slots__`` objects so that per-packet work
   (which can mean hundreds of thousands of events per run) stays cheap.
-* Cancellation is lazy: a cancelled event stays in the heap and is skipped
-  when popped. This keeps :meth:`Simulator.cancel` O(1).
+* The queue implementation is chosen per :class:`Simulator` — by name
+  (``"heap"`` or ``"calendar"``), by instance, or from the
+  ``REPRO_SIM_SCHEDULER`` environment variable (default ``"heap"``).
+  All implementations produce identical event orders.
+* Cancellation is lazy: a cancelled event stays queued and is skipped
+  when popped. This keeps :meth:`Simulator.cancel` O(1); the scheduler
+  compacts itself when dead entries dominate, so schedule-and-cancel
+  workloads no longer grow the queue without bound.
+* Fire-and-forget callers that never cancel should prefer
+  :meth:`Simulator.post` / :meth:`Simulator.post_at` /
+  :meth:`Simulator.post_batch` over ``schedule``: no handle escapes, so
+  the engine recycles those events through a freelist instead of
+  allocating a fresh object per packet.
 * The simulator never advances time backwards; scheduling with a negative
   delay raises :class:`~repro.sim.errors.SimulationError`.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Optional, Tuple
+import os
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.scheduler import Scheduler, make_scheduler
+
+__all__ = ["Event", "Simulator", "global_events_processed"]
+
+#: Environment variable consulted when no scheduler is passed explicitly.
+SCHEDULER_ENV_VAR = "REPRO_SIM_SCHEDULER"
+
+#: Upper bound on recycled Event objects kept per simulator.
+_FREELIST_CAP = 4096
+
+#: Process-wide count of events executed across every Simulator instance.
+#: The bench harness reads this to compute events/sec for workloads that
+#: construct their simulators internally.
+_global_events = 0
 
 
-class Event:
-    """A scheduled callback.
+def global_events_processed() -> int:
+    """Events executed so far by all simulators in this process."""
+    return _global_events
 
-    Instances are returned by :meth:`Simulator.schedule` and can be passed
-    to :meth:`Simulator.cancel`. They order by ``(time, seq)`` which is what
-    the heap requires.
-    """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
-
-    def __init__(
-        self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " cancelled" if self.cancelled else ""
-        name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<Event t={self.time:.3f}us #{self.seq} {name}{state}>"
+def _noop() -> None:
+    """Placeholder callback installed on freelisted events."""
 
 
 class Simulator:
@@ -67,16 +74,26 @@ class Simulator:
     5.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: Union[str, Scheduler, None] = None) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV_VAR, "heap")
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        self._scheduler: Scheduler = scheduler
         self._seq: int = 0
         self._halted: bool = False
+        self._freelist: List[Event] = []
         self.events_processed: int = 0
         #: Optional :class:`repro.validate.InvariantMonitor` hook. When
         #: None (the default) the event loop pays one attribute check per
         #: event and nothing else.
         self.monitor: Optional[Any] = None
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The priority queue backing this simulator."""
+        return self._scheduler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -95,12 +112,78 @@ class Simulator:
             )
         event = Event(time, self._seq, fn, args)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._scheduler.push(event)
         return event
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, event is recycled.
+
+        Use this on hot paths that never cancel — the event object goes
+        back to a freelist after the callback returns instead of being
+        garbage.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._scheduler.push(self._acquire(self.now + delay, fn, args))
+
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        self._scheduler.push(self._acquire(time, fn, args))
+
+    def post_batch(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        args_list: Iterable[Tuple[Any, ...]],
+    ) -> int:
+        """Fire-and-forget a burst of ``fn(*args)`` calls at one instant.
+
+        All events share the timestamp ``now + delay`` and run in
+        ``args_list`` order (sequence numbers are assigned in iteration
+        order). Built for NAPI poll storms, where a single poll round
+        fans tens of per-packet continuations into the queue: the
+        scheduler gets them as one bulk insert. Returns the number of
+        events queued.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self.now + delay
+        events = [self._acquire(time, fn, args) for args in args_list]
+        self._scheduler.push_many(events)
+        return len(events)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if it already ran)."""
-        event.cancelled = True
+        if event.queued and not event.cancelled:
+            event.cancelled = True
+            self._scheduler.note_cancel(event)
+
+    def _acquire(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]) -> Event:
+        """Build a recyclable event, reusing a freelisted one if possible."""
+        free = self._freelist
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, self._seq, fn, args)
+            event.reusable = True
+        self._seq += 1
+        return event
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired ``post*`` event to the freelist."""
+        event.fn = _noop
+        event.args = ()
+        if len(self._freelist) < _FREELIST_CAP:
+            self._freelist.append(event)
 
     # ------------------------------------------------------------------
     # Execution
@@ -118,45 +201,49 @@ class Simulator:
                 ``until`` if the queue ran dry earlier.
             max_events: safety valve — stop after this many events.
         """
+        global _global_events
         if self._halted:
             raise SimulationError("simulator has been halted")
         processed = 0
-        heap = self._heap
-        while heap:
-            event = heap[0]
-            if event.cancelled:
-                heapq.heappop(heap)
-                continue
+        scheduler = self._scheduler
+        while True:
+            event = scheduler.peek()
+            if event is None:
+                break
             if until is not None and event.time > until:
                 break
             if max_events is not None and processed >= max_events:
                 break
-            heapq.heappop(heap)
+            scheduler.pop()
             if self.monitor is not None:
                 self.monitor.on_event(self.now, event.time)
             self.now = event.time
             event.fn(*event.args)
             processed += 1
+            if event.reusable:
+                self._recycle(event)
             if self._halted:
                 break
         self.events_processed += processed
+        _global_events += processed
         if until is not None and self.now < until and not self._halted:
             self.now = until
 
     def step(self) -> bool:
         """Process a single event. Returns False when the queue is empty."""
-        heap = self._heap
-        while heap:
-            event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            if self.monitor is not None:
-                self.monitor.on_event(self.now, event.time)
-            self.now = event.time
-            event.fn(*event.args)
-            self.events_processed += 1
-            return True
-        return False
+        global _global_events
+        event = self._scheduler.pop()
+        if event is None:
+            return False
+        if self.monitor is not None:
+            self.monitor.on_event(self.now, event.time)
+        self.now = event.time
+        event.fn(*event.args)
+        self.events_processed += 1
+        _global_events += 1
+        if event.reusable:
+            self._recycle(event)
+        return True
 
     def halt(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
@@ -170,13 +257,10 @@ class Simulator:
     # Introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Events still queued (cancelled ones count until compacted)."""
+        return len(self._scheduler)
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None when idle."""
-        for event in sorted(self._heap)[:16]:
-            if not event.cancelled:
-                return event.time
-        live = [e.time for e in self._heap if not e.cancelled]
-        return min(live) if live else None
+        event = self._scheduler.peek()
+        return event.time if event is not None else None

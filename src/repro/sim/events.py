@@ -1,0 +1,49 @@
+"""The scheduled-callback record shared by the engine and its schedulers.
+
+Split out of :mod:`repro.sim.engine` so scheduler implementations
+(:mod:`repro.sim.scheduler`) can type against :class:`Event` without a
+circular import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`~repro.sim.engine.Simulator.schedule`
+    and can be passed to :meth:`~repro.sim.engine.Simulator.cancel`. They
+    order by ``(time, seq)`` which is what the scheduler requires.
+
+    Two bookkeeping flags support the engine's hot path and are not part
+    of the public surface: ``queued`` tracks whether the event currently
+    sits in a scheduler (so cancel-after-fire cannot corrupt compaction
+    accounting), and ``reusable`` marks events created through the
+    no-handle ``post*`` APIs, which the engine may recycle through its
+    freelist once they have run.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "queued", "reusable")
+
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.queued = False
+        self.reusable = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f}us #{self.seq} {name}{state}>"

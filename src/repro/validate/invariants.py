@@ -106,13 +106,10 @@ class InvariantMonitor:
         self.stack = stack
         self.attached = True
         machine = stack.machine
-        stack.monitor = self
-        stack.sim.monitor = self
-        stack.softnet.monitor = self
-        stack.defrag.monitor = self
-        machine.interrupts.monitor = self
-        for cpu in machine.cpus:
-            cpu.monitor = self
+        # The context fans the hook out to every registered hot-path
+        # sink: simulator, stack, softnet, defrag engine, interrupt
+        # counters, and each CPU.
+        stack.ctx.attach_monitor(self)
         self._last_interrupts = machine.interrupts.snapshot()
         self._last_busy_us = [cpu.busy_us_total for cpu in machine.cpus]
         self._audit_event = stack.sim.schedule(self.audit_interval_us, self._audit)
@@ -123,13 +120,7 @@ class InvariantMonitor:
         if not self.attached:
             return
         stack = self.stack
-        stack.monitor = None
-        stack.sim.monitor = None
-        stack.softnet.monitor = None
-        stack.defrag.monitor = None
-        stack.machine.interrupts.monitor = None
-        for cpu in stack.machine.cpus:
-            cpu.monitor = None
+        stack.ctx.detach_monitor()
         if self._audit_event is not None:
             stack.sim.cancel(self._audit_event)
             self._audit_event = None

@@ -100,8 +100,11 @@ class Testbed:
         backlog_capacity: int = 1000,
         rmem_packets: int = 4096,
         seed: int = 0,
+        scheduler: Optional[str] = None,
     ) -> None:
-        self.sim = Simulator()
+        # None defers to REPRO_SIM_SCHEDULER (default "heap"), so a whole
+        # run — goldens included — can be flipped from the environment.
+        self.sim = Simulator(scheduler)
         self.mode = mode
         config = StackConfig(
             mode=mode,

@@ -1,0 +1,266 @@
+"""Unit tests for the pluggable schedulers and their shared mechanics.
+
+Covers the Scheduler protocol implementations directly (ordering,
+lazy-cancellation discard, compaction) and the engine-level behaviours
+that ride on them: lazy-pop ``peek_time``, the cancellation-leak fix,
+freelist recycling of ``post*`` events, and environment-variable
+scheduler selection.
+"""
+
+import pytest
+
+from repro.sim.engine import SCHEDULER_ENV_VAR, Simulator
+from repro.sim.events import Event
+from repro.sim.scheduler import (
+    COMPACT_MIN_EVENTS,
+    CalendarScheduler,
+    HeapScheduler,
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
+
+SCHEDULERS = [HeapScheduler, CalendarScheduler]
+
+
+# ----------------------------------------------------------------------
+# Construction / selection
+# ----------------------------------------------------------------------
+def test_make_scheduler_names():
+    assert isinstance(make_scheduler("heap"), HeapScheduler)
+    assert isinstance(make_scheduler("calendar"), CalendarScheduler)
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        make_scheduler("fifo")
+
+
+def test_env_var_selects_scheduler(monkeypatch):
+    monkeypatch.setenv(SCHEDULER_ENV_VAR, "calendar")
+    assert isinstance(Simulator().scheduler, CalendarScheduler)
+    monkeypatch.setenv(SCHEDULER_ENV_VAR, "heap")
+    assert isinstance(Simulator().scheduler, HeapScheduler)
+    monkeypatch.delenv(SCHEDULER_ENV_VAR)
+    assert isinstance(Simulator().scheduler, HeapScheduler)
+
+
+def test_explicit_scheduler_overrides_env(monkeypatch):
+    monkeypatch.setenv(SCHEDULER_ENV_VAR, "calendar")
+    assert isinstance(Simulator("heap").scheduler, HeapScheduler)
+    custom = CalendarScheduler(bucket_width_us=2.0, num_buckets=64)
+    assert Simulator(custom).scheduler is custom
+
+
+def test_calendar_rejects_degenerate_geometry():
+    with pytest.raises(ValueError):
+        CalendarScheduler(bucket_width_us=0.0)
+    with pytest.raises(ValueError):
+        CalendarScheduler(num_buckets=1)
+
+
+# ----------------------------------------------------------------------
+# Protocol-level ordering
+# ----------------------------------------------------------------------
+def _event(time, seq):
+    return Event(time, seq, lambda: None, ())
+
+
+@pytest.mark.parametrize("cls", SCHEDULERS)
+def test_pop_orders_by_time_then_seq(cls):
+    sched = cls()
+    sched.push(_event(5.0, 3))
+    sched.push(_event(1.0, 1))
+    sched.push(_event(5.0, 2))
+    sched.push(_event(0.5, 0))
+    order = []
+    while True:
+        event = sched.pop()
+        if event is None:
+            break
+        order.append((event.time, event.seq))
+    assert order == [(0.5, 0), (1.0, 1), (5.0, 2), (5.0, 3)]
+    assert len(sched) == 0
+
+
+@pytest.mark.parametrize("cls", SCHEDULERS)
+def test_peek_returns_next_live_without_removing(cls):
+    sched = cls()
+    first = _event(1.0, 0)
+    second = _event(2.0, 1)
+    sched.push(first)
+    sched.push(second)
+    assert sched.peek() is first
+    assert len(sched) == 2
+    first.cancelled = True
+    sched.note_cancel(first)
+    # Lazy-pop: the cancelled head is discarded as a side effect.
+    assert sched.peek() is second
+    assert sched.pop() is second
+    assert sched.peek() is None
+
+
+@pytest.mark.parametrize("cls", SCHEDULERS)
+def test_push_many_preserves_seq_order_on_ties(cls):
+    sched = cls()
+    batch = [_event(3.0, seq) for seq in range(16)]
+    sched.push_many(batch)
+    sched.push(_event(1.0, 99))
+    popped = []
+    while len(sched):
+        popped.append(sched.pop().seq)
+    assert popped == [99] + list(range(16))
+
+
+def test_calendar_overflow_and_rebase():
+    # Events far beyond the wheel window live in the overflow; once the
+    # wheel drains, the window rebases onto them and order still holds.
+    sched = CalendarScheduler(bucket_width_us=1.0, num_buckets=8)
+    far = [_event(1000.0 + step, 10 + step) for step in range(3)]
+    near = [_event(float(step), step) for step in range(3)]
+    for event in far + near:
+        sched.push(event)
+    popped = [sched.pop().time for _ in range(6)]
+    assert popped == [0.0, 1.0, 2.0, 1000.0, 1001.0, 1002.0]
+
+
+def test_calendar_push_below_cursor_rescans():
+    # peek() advances the cursor; a later push landing in an earlier
+    # bucket must rewind it or the event would be skipped.
+    sched = CalendarScheduler(bucket_width_us=1.0, num_buckets=16)
+    sched.push(_event(9.0, 0))
+    assert sched.peek().time == 9.0
+    early = _event(2.0, 1)
+    sched.push(early)
+    assert sched.peek() is early
+    assert sched.pop() is early
+    assert sched.pop().time == 9.0
+
+
+# ----------------------------------------------------------------------
+# Cancellation leak + compaction (the regression this PR fixes)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_cancel_heavy_workload_compacts_queue(name):
+    """Schedule-and-cancel no longer grows the queue without bound."""
+    sim = Simulator(name)
+    keep = []
+    total = 4 * COMPACT_MIN_EVENTS
+    for index in range(total):
+        handle = sim.schedule(1000.0 + index, lambda: None)
+        if index % 64 == 0:
+            keep.append(handle)
+        else:
+            sim.cancel(handle)
+    live = len(keep)
+    # Without compaction, pending() would still be `total`.
+    assert sim.pending() < 2 * max(live, COMPACT_MIN_EVENTS)
+    sim.run()
+    assert sim.events_processed == live
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_compaction_preserves_order_and_future_cancels(name):
+    sim = Simulator(name)
+    fired = []
+    handles = [
+        sim.schedule(float(index % 50), fired.append, index)
+        for index in range(2 * COMPACT_MIN_EVENTS)
+    ]
+    # Cancel enough to force at least one compaction...
+    for handle in handles[: COMPACT_MIN_EVENTS + COMPACT_MIN_EVENTS // 2]:
+        sim.cancel(handle)
+    # ...then cancel survivors afterwards: their handles must still be
+    # honoured even though compaction rebuilt the queue around them.
+    for handle in handles[-8:]:
+        sim.cancel(handle)
+    sim.run()
+    expected = [
+        index
+        for index in range(
+            COMPACT_MIN_EVENTS + COMPACT_MIN_EVENTS // 2,
+            2 * COMPACT_MIN_EVENTS - 8,
+        )
+    ]
+    assert sorted(fired) == expected
+    times = [index % 50 for index in fired]
+    assert times == sorted(times)
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    sim.run()
+    sim.cancel(handle)  # already ran; must not corrupt scheduler counters
+    sim.cancel(handle)
+    sim.schedule(1.0, fired.append, "z")
+    sim.run()
+    assert fired == ["x", "y", "z"]
+
+
+# ----------------------------------------------------------------------
+# peek_time (lazy-pop fix)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_peek_time_skips_cancelled_head(name):
+    sim = Simulator(name)
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    assert sim.peek_time() == 1.0
+    sim.cancel(first)
+    assert sim.peek_time() == 5.0
+    assert sim.events_processed == 0  # peek never executes anything
+    sim.run()
+    assert sim.peek_time() is None
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_peek_time_many_cancelled(name):
+    sim = Simulator(name)
+    handles = [sim.schedule(float(i), lambda: None) for i in range(100)]
+    for handle in handles[:99]:
+        sim.cancel(handle)
+    assert sim.peek_time() == 99.0
+
+
+# ----------------------------------------------------------------------
+# Freelist recycling of post* events
+# ----------------------------------------------------------------------
+def test_post_events_are_recycled():
+    sim = Simulator()
+    for _ in range(10):
+        sim.post(1.0, lambda: None)
+    sim.run()
+    recycled = list(sim._freelist)
+    assert len(recycled) == 10
+    # The same objects are reused for subsequent posts...
+    sim.post(1.0, lambda: None)
+    assert sim._freelist == recycled[:-1]
+    # ...and schedule() handles are never recycled (they can escape).
+    handle = sim.schedule(1.0, lambda: None)
+    assert not handle.reusable
+    sim.run()
+    assert handle not in sim._freelist
+
+
+def test_post_batch_runs_in_args_order():
+    sim = Simulator()
+    fired = []
+    count = sim.post_batch(2.0, fired.append, [(i,) for i in range(32)])
+    assert count == 32
+    sim.post(1.0, fired.append, "first")
+    sim.run()
+    assert fired == ["first"] + list(range(32))
+    assert sim.now == 2.0
+
+
+def test_post_rejects_negative_delay():
+    from repro.sim.errors import SimulationError
+
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.post(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post_batch(-1.0, lambda: None, [()])
+    sim.post(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post_at(1.0, lambda: None)

@@ -2,8 +2,9 @@
 """Run the ``mypy --strict`` gate over the typed packages.
 
 The simulation core (``repro.sim``), the kernel model entry points
-(``repro.kernel``) and the static-analysis pass (``repro.analysis``)
-are type-checked strictly; modules listed in the pyproject ratchet
+(``repro.kernel``), the static-analysis pass (``repro.analysis``) and
+the bench harness (``repro.bench``) are type-checked strictly; modules
+listed in the pyproject ratchet
 (mirrored in ``tools/mypy_ratchet.txt``) still have errors ignored.
 
 mypy is an optional tool dependency — this container image does not
@@ -28,6 +29,7 @@ TARGETS: List[str] = [
     "src/repro/sim",
     "src/repro/kernel",
     "src/repro/analysis",
+    "src/repro/bench",
 ]
 
 
