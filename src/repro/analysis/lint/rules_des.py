@@ -79,6 +79,11 @@ class RealConcurrencyRule(Rule):
         "and bypass the per-core serialization the model depends on."
     )
     scope = SIMULATED_SCOPE
+    # The shard engine's worker transport is the sanctioned boundary: it
+    # spawns shard processes and speaks pipes, and nothing else in the
+    # simulated scope may. Keeping the carve-out here (not as pragmas)
+    # makes the boundary auditable in one place.
+    exempt = ("repro.sim.shard.transport",)
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         assert ctx.tree is not None
@@ -118,6 +123,9 @@ class BlockingCallRule(Rule):
         "belongs to the harness layers."
     )
     scope = SIMULATED_SCOPE
+    # Same carve-out as DES201: the transport's pipe waits are real by
+    # design (they are bounded by poll timeouts, not simulated time).
+    exempt = ("repro.sim.shard.transport",)
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         assert ctx.tree is not None

@@ -17,12 +17,19 @@ the tree's one sanctioned wall-clock helper
 """
 
 from repro.bench.harness import run_bench, write_bench_doc
-from repro.bench.schema import SCHEMA_ID, validate_bench_doc
+from repro.bench.schema import (
+    DEFAULT_TOLERANCE,
+    SCHEMA_ID,
+    compare_bench_docs,
+    validate_bench_doc,
+)
 from repro.bench.suite import all_specs, execute, specs_for
 
 __all__ = [
+    "DEFAULT_TOLERANCE",
     "SCHEMA_ID",
     "all_specs",
+    "compare_bench_docs",
     "execute",
     "run_bench",
     "specs_for",

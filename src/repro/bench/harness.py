@@ -81,28 +81,42 @@ def run_bench(
     specs = specs_for(quick=quick, only=only)
     if workers is None:
         workers = min(4, os.cpu_count() or 1, max(len(specs), 1))
-    payloads: List[_Payload] = [
-        (spec.name, spec.kind, derive_bench_seed(root_seed, spec.name), quick, scheduler)
-        for spec in specs
-    ]
+
+    def payload_for(spec: Any) -> _Payload:
+        return (
+            spec.name, spec.kind, derive_bench_seed(root_seed, spec.name),
+            quick, scheduler,
+        )
+
+    # Benchmarks that spawn their own shard workers cannot run inside
+    # Pool workers (daemonic processes may not have children) — they run
+    # inline in the parent, after the pooled batch.
+    pooled = [payload_for(spec) for spec in specs if not spec.own_processes]
+    inline = [payload_for(spec) for spec in specs if spec.own_processes]
+    order = {spec.name: index for index, spec in enumerate(specs)}
     started = wall_seconds()
-    if workers <= 1 or len(payloads) <= 1:
+    results: List[Dict[str, Any]] = []
+    if pooled:
+        if workers <= 1 or len(pooled) <= 1:
+            inline = pooled + inline
+        else:
+            # spawn (not fork): each worker is a fresh interpreter, so
+            # nothing leaks between the parent's world and the workers'.
+            mp = multiprocessing.get_context("spawn")
+            with mp.Pool(processes=workers) as pool:
+                results.extend(pool.map(_worker_run, pooled))
+    if inline:
         # Inline path shares this process: restore the scheduler env var
         # so a bench run can't leak selection into the caller's world.
         previous = os.environ.get(SCHEDULER_ENV_VAR)
         try:
-            results = [_worker_run(payload) for payload in payloads]
+            results.extend(_worker_run(payload) for payload in inline)
         finally:
             if previous is None:
                 os.environ.pop(SCHEDULER_ENV_VAR, None)
             else:
                 os.environ[SCHEDULER_ENV_VAR] = previous
-    else:
-        # spawn (not fork): each worker is a fresh interpreter, so nothing
-        # leaks between the parent's world and the workers'.
-        mp = multiprocessing.get_context("spawn")
-        with mp.Pool(processes=workers) as pool:
-            results = pool.map(_worker_run, payloads)
+    results.sort(key=lambda record: order[record["name"]])
     total_wall = wall_seconds() - started
     created, _stamp = utc_stamp()
     total_events = sum(record["events"] for record in results)

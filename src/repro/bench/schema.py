@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Set
 #: Bump on any backwards-incompatible change to the document layout.
 SCHEMA_ID = "repro-bench/1"
 
-_BENCH_KINDS = ("engine", "scenario", "figure")
+_BENCH_KINDS = ("engine", "scenario", "figure", "shard")
 
 #: Required per-benchmark fields and their types.
 _ENTRY_FIELDS = (
@@ -111,4 +111,65 @@ def validate_bench_doc(doc: Any) -> List[str]:
                 problems.append(
                     "totals: ok/errors counts disagree with benchmark entries"
                 )
+    return problems
+
+
+#: Default allowed fractional events/sec slowdown vs the baseline. CI
+#: hosts differ wildly in single-core speed, so the band is wide: the
+#: gate exists to catch order-of-magnitude collapses (an accidentally
+#: quadratic scheduler, a run that silently did no work), not 10% noise.
+DEFAULT_TOLERANCE = 0.5
+
+
+def compare_bench_docs(
+    current: Any, baseline: Any, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regressions in ``current`` relative to a committed ``baseline``.
+
+    Three classes of failure, all human-readable strings (empty list ==
+    pass):
+
+    * a benchmark that was ``ok`` in the baseline is missing or errored;
+    * a benchmark's ``events_per_sec`` fell below ``(1 - tolerance)`` of
+      the baseline's;
+    * either document fails schema validation outright.
+
+    Benchmarks added since the baseline are ignored — new work must not
+    require regenerating the baseline to land.
+    """
+    problems: List[str] = []
+    if not 0.0 <= tolerance < 1.0:
+        return [f"tolerance must be in [0, 1), got {tolerance}"]
+    for label, doc in (("current", current), ("baseline", baseline)):
+        schema_problems = validate_bench_doc(doc)
+        if schema_problems:
+            problems.extend(f"{label} document: {p}" for p in schema_problems)
+    if problems:
+        return problems
+    current_by_name = {
+        entry["name"]: entry for entry in current["benchmarks"]
+    }
+    floor = 1.0 - tolerance
+    for entry in baseline["benchmarks"]:
+        name = entry["name"]
+        if entry["status"] != "ok":
+            continue  # a broken baseline entry gates nothing
+        now = current_by_name.get(name)
+        if now is None:
+            problems.append(f"{name}: in baseline but missing from this run")
+            continue
+        if now["status"] != "ok":
+            problems.append(
+                f"{name}: ok in baseline but {now['status']} now "
+                f"({now.get('error', 'no detail')})"
+            )
+            continue
+        base_eps = float(entry["events_per_sec"])
+        now_eps = float(now["events_per_sec"])
+        if base_eps > 0 and now_eps < base_eps * floor:
+            problems.append(
+                f"{name}: events/sec fell to {now_eps:,.0f} from baseline "
+                f"{base_eps:,.0f} ({now_eps / base_eps:.1%}; floor is "
+                f"{floor:.0%} of baseline)"
+            )
     return problems

@@ -56,9 +56,13 @@ class BenchSpec:
     """One runnable benchmark."""
 
     name: str
-    kind: str  # "engine" | "scenario" | "figure"
+    kind: str  # "engine" | "scenario" | "figure" | "shard"
     #: Included in ``--quick`` runs.
     quick: bool
+    #: True for benchmarks that spawn their own worker processes (the
+    #: shard sweep). The harness must run these inline in the parent —
+    #: Pool workers are daemonic and may not have children.
+    own_processes: bool = False
 
 
 def all_specs() -> List[BenchSpec]:
@@ -70,6 +74,12 @@ def all_specs() -> List[BenchSpec]:
         BenchSpec("scenario-udp-stress-vanilla", "scenario", True),
         BenchSpec("scenario-udp-stress-falcon", "scenario", True),
         BenchSpec("scenario-tcp-stream-falcon", "scenario", True),
+        # The shard-count sweep: the same cluster at 1 (inline reference)
+        # and 2/4 worker processes. Comparing their events/sec is the
+        # sharded engine's headline speedup number.
+        BenchSpec("shard-cluster-1", "shard", True),
+        BenchSpec("shard-cluster-2", "shard", True, own_processes=True),
+        BenchSpec("shard-cluster-4", "shard", True, own_processes=True),
     ]
     for figure in ALL_FIGURES:
         specs.append(BenchSpec(f"figure-{figure}", "figure", figure in QUICK_FIGURES))
@@ -210,6 +220,48 @@ def _scenario(name: str, seed: int, quick: bool) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Shard sweep benches
+# ----------------------------------------------------------------------
+def _shard_bench(name: str, seed: int, quick: bool) -> Dict[str, Any]:
+    """One point of the shard-count sweep.
+
+    The scenario is sized for parallel efficiency: 4 hosts saturating a
+    UDP ring with a generous inter-host propagation delay, so barrier
+    windows are wide and each shard does real work between syncs. The
+    simulated result is identical at every shard count (that is the
+    equivalence suite's job to prove); only events/sec should move.
+    """
+    from repro.overlay.cluster import run_cluster, udp_ring_spec
+
+    shards = int(name.rsplit("-", 1)[1])
+    # One fixed scenario for every sweep point (ignore the per-bench
+    # seed): the three entries must simulate the *same* workload or
+    # their events/sec would not be comparable. The scenario is fully
+    # deterministic regardless.
+    spec = udp_ring_spec(
+        num_hosts=4,
+        message_size=1024,
+        rate_pps=None,  # saturating — throughput-bound, not pacing-bound
+        seed=0,
+        propagation_us=25.0,
+        warmup_us=1000.0,
+        duration_us=3000.0 if quick else 10_000.0,
+    )
+    result = run_cluster(
+        spec, shards=shards, transport="inline" if shards == 1 else "process"
+    )
+    return {
+        "shards": shards,
+        "transport": result.transport,
+        "messages_delivered": result.messages_delivered,
+        "message_rate_pps": round(result.message_rate_pps, 1),
+        "windows_run": result.windows_run,
+        "records_exchanged": result.records_exchanged,
+        "sim_events": result.events_processed,
+    }
+
+
+# ----------------------------------------------------------------------
 # Figure benches
 # ----------------------------------------------------------------------
 def _json_safe(value: Any) -> Any:
@@ -248,6 +300,8 @@ def execute(name: str, seed: int, quick: bool) -> Dict[str, Any]:
         return _engine_post_batch_storm(seed, quick)
     if name.startswith("scenario-"):
         return _scenario(name, seed, quick)
+    if name.startswith("shard-"):
+        return _shard_bench(name, seed, quick)
     if name.startswith("figure-"):
         return _figure(name[len("figure-"):], quick)
     raise ValueError(f"unknown benchmark {name!r}")

@@ -226,12 +226,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         default=None,
         metavar="FILE",
-        help="validate an existing BENCH_*.json against the schema and exit",
+        help="validate an existing BENCH_*.json against the schema "
+        "(and against --baseline, when given) and exit",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="gate events/sec against a committed BENCH_*.json baseline; "
+        "regressions beyond --tolerance fail the run",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional events/sec slowdown vs --baseline "
+        "(default: schema DEFAULT_TOLERANCE)",
     )
     bench.add_argument(
         "--list", action="store_true", dest="list_benches",
         help="print the benchmark catalogue and exit",
     )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a multi-host ring scenario on the sharded engine "
+        "(--shards N splits the hosts across worker processes)",
+    )
+    cluster.add_argument("--proto", choices=["udp", "tcp"], default="udp")
+    cluster.add_argument("--hosts", type=int, default=4)
+    cluster.add_argument(
+        "--shards", type=int, default=1,
+        help="shard count (must divide into the host set; default 1)",
+    )
+    cluster.add_argument(
+        "--transport",
+        choices=["inline", "process"],
+        default=None,
+        help="inline = all shards in this process (deterministic "
+        "reference); process = one spawn worker per shard "
+        "(default: inline for 1 shard, process otherwise)",
+    )
+    cluster.add_argument("--size", type=int, default=512, help="message bytes")
+    cluster.add_argument(
+        "--rate", type=float, default=None,
+        help="UDP per-flow rate in messages/s (default: saturating)",
+    )
+    cluster.add_argument(
+        "--window", type=int, default=8, help="TCP messages in flight"
+    )
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--scheduler", choices=["heap", "calendar"], default="heap"
+    )
+    cluster.add_argument("--falcon", action="store_true", help="enable Falcon")
+    cluster.add_argument("--bandwidth", type=float, default=10.0, help="link Gbps")
+    cluster.add_argument(
+        "--propagation-us", type=float, default=5.0,
+        help="inter-host propagation delay (the sync lookahead)",
+    )
+    cluster.add_argument("--duration-us", type=float, default=5000.0)
+    cluster.add_argument("--warmup-us", type=float, default=2000.0)
 
     validate = sub.add_parser(
         "validate",
@@ -365,11 +420,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         import json as _json
 
         from repro.bench import (
+            DEFAULT_TOLERANCE,
             all_specs,
+            compare_bench_docs,
             run_bench,
             validate_bench_doc,
             write_bench_doc,
         )
+
+        def load_doc(path: str):
+            with open(path, "r", encoding="utf-8") as handle:
+                return _json.load(handle)
+
+        tolerance = (
+            DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        )
+
+        def gate_against_baseline(doc) -> int:
+            """Compare ``doc`` to --baseline; 0 pass, non-zero fail."""
+            try:
+                baseline = load_doc(args.baseline)
+            except (OSError, ValueError) as exc:
+                print(f"repro bench: {exc}", file=sys.stderr)
+                return 2
+            regressions = compare_bench_docs(doc, baseline, tolerance=tolerance)
+            for regression in regressions:
+                print(f"baseline: {regression}", file=sys.stderr)
+            print(
+                f"repro bench: baseline {args.baseline} "
+                + (
+                    f"FAILED ({len(regressions)} regression(s), "
+                    f"tolerance {tolerance:.0%})"
+                    if regressions
+                    else f"ok (tolerance {tolerance:.0%})"
+                )
+            )
+            return 1 if regressions else 0
 
         if args.list_benches:
             for spec in all_specs():
@@ -378,8 +464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         if args.check:
             try:
-                with open(args.check, "r", encoding="utf-8") as handle:
-                    doc = _json.load(handle)
+                doc = load_doc(args.check)
             except (OSError, ValueError) as exc:
                 print(f"repro bench: {exc}", file=sys.stderr)
                 return 2
@@ -390,7 +475,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"repro bench: {args.check} "
                 + ("FAILED schema check" if problems else "schema ok")
             )
-            return 1 if problems else 0
+            if problems:
+                return 1
+            if args.baseline:
+                return gate_against_baseline(doc)
+            return 0
         only = args.only.split(",") if args.only else None
         try:
             doc = run_bench(
@@ -417,7 +506,61 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{totals['events']:,} events in {totals['wall_s']:.2f}s "
             f"({totals['events_per_sec']:,.0f} ev/s aggregate) -> {path}"
         )
-        return 1 if totals["errors"] else 0
+        if totals["errors"]:
+            return 1
+        if args.baseline:
+            return gate_against_baseline(doc)
+        return 0
+
+    if args.command == "cluster":
+        from repro.sim.errors import ConfigurationError
+        from repro.overlay.cluster import (
+            run_cluster,
+            tcp_ring_spec,
+            udp_ring_spec,
+        )
+
+        common = dict(
+            num_hosts=args.hosts,
+            message_size=args.size,
+            seed=args.seed,
+            scheduler=args.scheduler,
+            falcon=args.falcon,
+            bandwidth_gbps=args.bandwidth,
+            propagation_us=args.propagation_us,
+            warmup_us=args.warmup_us,
+            duration_us=args.duration_us,
+        )
+        if args.proto == "udp":
+            spec = udp_ring_spec(rate_pps=args.rate, **common)
+        else:
+            spec = tcp_ring_spec(window_msgs=args.window, **common)
+        transport = args.transport or ("inline" if args.shards == 1 else "process")
+        try:
+            result = run_cluster(spec, shards=args.shards, transport=transport)
+        except ConfigurationError as exc:
+            print(f"repro cluster: {exc}", file=sys.stderr)
+            return 2
+        table = Table(
+            ["metric", "value"],
+            title=f"{args.proto} ring, {args.hosts} hosts, "
+            f"{result.shards} shard(s) via {result.transport}",
+        )
+        table.add_row("messages delivered", f"{result.messages_delivered:,}")
+        table.add_row("message rate", f"{result.message_rate_pps/1e3:,.1f} kmsg/s")
+        table.add_row("goodput", f"{result.goodput_gbps:.3f} Gbps")
+        table.add_row("avg latency", f"{result.avg_latency_us:.1f} us")
+        table.add_row("sim events", f"{result.events_processed:,}")
+        table.add_row("sync windows", f"{result.windows_run:,}")
+        table.add_row("cross-shard records", f"{result.records_exchanged:,}")
+        print(table.render())
+        for host_doc in result.per_host:
+            print(
+                f"host {host_doc['host']}: "
+                f"{host_doc['messages_delivered']:,} delivered, "
+                f"{host_doc['message_rate_pps']/1e3:,.1f} kmsg/s"
+            )
+        return 0
 
     if args.command == "validate":
         from repro.validate import run_validation

@@ -50,6 +50,7 @@ FIGURES: List[str] = [
     "fig17_webserving",
     "fig18_datacaching",
     "fig19_overhead",
+    "fig20_shard_scaling",
 ]
 
 

@@ -37,7 +37,7 @@ from repro.sim.errors import SimulationError
 from repro.sim.events import Event
 from repro.sim.scheduler import Scheduler, make_scheduler
 
-__all__ = ["Event", "Simulator", "global_events_processed"]
+__all__ = ["Event", "Simulator", "global_events_processed", "note_external_events"]
 
 #: Environment variable consulted when no scheduler is passed explicitly.
 SCHEDULER_ENV_VAR = "REPRO_SIM_SCHEDULER"
@@ -54,6 +54,19 @@ _global_events = 0
 def global_events_processed() -> int:
     """Events executed so far by all simulators in this process."""
     return _global_events
+
+
+def note_external_events(count: int) -> None:
+    """Fold events executed by another process into the global counter.
+
+    The sharded engine runs simulators inside worker processes whose
+    counters die with them; the coordinator reports their totals here so
+    that events/sec accounting (the bench harness) sees the whole run.
+    """
+    global _global_events
+    if count < 0:
+        raise SimulationError(f"cannot note a negative event count ({count})")
+    _global_events += count
 
 
 def _noop() -> None:

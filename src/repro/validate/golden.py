@@ -171,12 +171,50 @@ GOLDEN_SCENARIOS = (
 )
 
 
+#: Multi-host scenarios run through the sharded engine's record path.
+#: Goldens are generated at shards=1 (the reference partition); the
+#: shard-equivalence suite then demands byte-identical documents from
+#: every other shard count, so these files pin down the cross-shard
+#: merge discipline as well as the pipeline itself.
+CLUSTER_GOLDEN_SCENARIOS = (
+    {
+        "name": "cluster_udp_ring_vanilla",
+        "kind": "cluster",
+        "proto": "udp",
+        "num_hosts": 4,
+        "message_size": 512,
+        "rate_pps": 40_000.0,
+        "falcon": False,
+    },
+    {
+        "name": "cluster_udp_ring_falcon",
+        "kind": "cluster",
+        "proto": "udp",
+        "num_hosts": 4,
+        "message_size": 512,
+        "rate_pps": 40_000.0,
+        "falcon": True,
+    },
+    {
+        "name": "cluster_tcp_ring",
+        "kind": "cluster",
+        "proto": "tcp",
+        "num_hosts": 3,
+        "message_size": 4096,
+        "window_msgs": 8,
+        "falcon": False,
+    },
+)
+
+
 def run_golden_scenario(spec: Dict, duration_ms: float = 5.0, warmup_ms: float = 2.0) -> Dict:
     """Run one golden scenario with a tracer attached; return its document."""
     from repro.core.config import FalconConfig
     from repro.metrics.tracing import PacketTracer
     from repro.workloads.sockperf import Testbed
 
+    if spec.get("kind") == "cluster":
+        return run_cluster_golden_scenario(spec)
     falcon = None
     if spec.get("falcon"):
         falcon = FalconConfig(split_gro=bool(spec.get("split_gro")))
@@ -195,6 +233,47 @@ def run_golden_scenario(spec: Dict, duration_ms: float = 5.0, warmup_ms: float =
     return serialize_traces(tracer, meta=meta)
 
 
+def cluster_spec_for(spec: Dict, shards_hint: int = 1):
+    """Build the ClusterSpec behind one cluster golden scenario."""
+    from repro.overlay.cluster import tcp_ring_spec, udp_ring_spec
+
+    common = dict(
+        num_hosts=int(spec["num_hosts"]),
+        falcon=bool(spec.get("falcon")),
+        seed=int(spec.get("seed", 0)),
+        trace=True,
+        warmup_us=2000.0,
+        duration_us=5000.0,
+    )
+    if spec["proto"] == "udp":
+        return udp_ring_spec(
+            message_size=spec["message_size"],
+            rate_pps=spec["rate_pps"],
+            **common,
+        )
+    return tcp_ring_spec(
+        message_size=spec["message_size"],
+        window_msgs=spec["window_msgs"],
+        **common,
+    )
+
+
+def run_cluster_golden_scenario(spec: Dict, shards: int = 1) -> Dict:
+    """Run one cluster scenario at ``shards`` shards; return its trace doc.
+
+    The document is independent of ``shards`` by design — that is the
+    sharded engine's core guarantee, and what the equivalence suite
+    asserts by diffing this output across shard counts.
+    """
+    from repro.overlay.cluster import run_cluster
+
+    result = run_cluster(cluster_spec_for(spec), shards=shards)
+    doc = result.trace_doc
+    assert doc is not None  # trace=True above
+    doc["meta"]["name"] = spec["name"]
+    return doc
+
+
 def check_goldens(
     golden_dir: Optional[Path] = None,
     regen: bool = False,
@@ -207,7 +286,7 @@ def check_goldens(
     """
     golden_dir = Path(golden_dir) if golden_dir is not None else default_golden_dir()
     results: Dict[str, List[str]] = {}
-    for spec in GOLDEN_SCENARIOS:
+    for spec in GOLDEN_SCENARIOS + CLUSTER_GOLDEN_SCENARIOS:
         name = spec["name"]
         if only is not None and name not in only:
             continue

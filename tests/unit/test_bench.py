@@ -7,6 +7,7 @@ import pytest
 from repro.bench import (
     SCHEMA_ID,
     all_specs,
+    compare_bench_docs,
     run_bench,
     specs_for,
     validate_bench_doc,
@@ -23,7 +24,9 @@ def test_specs_are_deterministic_and_unique():
     names = [spec.name for spec in specs]
     assert names == [spec.name for spec in all_specs()]
     assert len(names) == len(set(names))
-    assert all(spec.kind in ("engine", "scenario", "figure") for spec in specs)
+    assert all(
+        spec.kind in ("engine", "scenario", "figure", "shard") for spec in specs
+    )
 
 
 def test_quick_subset():
@@ -186,3 +189,67 @@ def test_run_bench_scheduler_flag_reaches_workers():
 def test_run_bench_unknown_only_raises():
     with pytest.raises(ValueError, match="unknown benchmark"):
         run_bench(only=["missing-bench"])
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (the CI perf gate)
+# ----------------------------------------------------------------------
+def test_compare_identical_docs_passes():
+    doc = _valid_doc()
+    assert compare_bench_docs(doc, doc) == []
+
+
+def test_compare_flags_events_per_sec_collapse():
+    baseline = _valid_doc()
+    current = _valid_doc()
+    current["benchmarks"][0]["events_per_sec"] = 100.0  # 10% of baseline
+    problems = compare_bench_docs(current, baseline, tolerance=0.5)
+    assert len(problems) == 1
+    assert "events/sec fell" in problems[0]
+    # Within the band: no problem.
+    current["benchmarks"][0]["events_per_sec"] = 600.0
+    assert compare_bench_docs(current, baseline, tolerance=0.5) == []
+
+
+def test_compare_flags_missing_and_errored_benchmarks():
+    baseline = _valid_doc()
+    current = _valid_doc()
+    current["benchmarks"][0]["name"] = "engine-churn-calendar"
+    problems = compare_bench_docs(current, baseline)
+    assert any("missing from this run" in p for p in problems)
+
+    current = _valid_doc()
+    current["benchmarks"][0]["status"] = "error"
+    current["benchmarks"][0]["error"] = "boom"
+    current["totals"]["ok"] = 0
+    current["totals"]["errors"] = 1
+    problems = compare_bench_docs(current, baseline)
+    assert any("error now" in p for p in problems)
+
+
+def test_compare_ignores_new_benchmarks_and_broken_baseline_entries():
+    baseline = _valid_doc()
+    current = _valid_doc()
+    current["benchmarks"].append(
+        dict(_valid_doc()["benchmarks"][0], name="shard-cluster-2", kind="shard")
+    )
+    current["totals"]["ok"] = 2
+    # New benchmark in current: ignored (landing work must not force a
+    # baseline regen).
+    assert compare_bench_docs(current, baseline) == []
+    # Broken baseline entry gates nothing.
+    baseline["benchmarks"][0]["status"] = "error"
+    baseline["benchmarks"][0]["error"] = "was broken"
+    baseline["totals"]["ok"] = 0
+    baseline["totals"]["errors"] = 1
+    current = _valid_doc()
+    current["benchmarks"][0]["events_per_sec"] = 1.0
+    assert compare_bench_docs(current, baseline) == []
+
+
+def test_compare_validates_schema_and_tolerance():
+    assert compare_bench_docs(_valid_doc(), _valid_doc(), tolerance=1.5) == [
+        "tolerance must be in [0, 1), got 1.5"
+    ]
+    problems = compare_bench_docs({"nope": True}, _valid_doc())
+    assert problems and all(p.startswith("current document:") for p in problems)
