@@ -18,7 +18,7 @@ See ``examples/quickstart.py`` for a guided tour and DESIGN.md for the
 architecture.
 """
 
-from repro.core.config import FalconConfig
+from repro.core.config import FalconConfig, FlowCacheConfig
 from repro.core.falcon import FalconSteering
 from repro.kernel.costs import CostModel
 from repro.kernel.skb import FlowKey, Skb
@@ -35,6 +35,7 @@ __all__ = [
     "Experiment",
     "FalconConfig",
     "FalconSteering",
+    "FlowCacheConfig",
     "FlowKey",
     "Host",
     "NetworkStack",

@@ -5,13 +5,17 @@ stages — alloc → hardirq → NAPI/driver → RPS backlog → protocol →
 socket delivery → free. Hand-coding that order in the analyzer would rot
 the moment the stack changes shape, so it is **derived**: this module
 builds the shipped stack configurations (host, overlay, overlay+Falcon,
-overlay+Falcon+GRO-split — the same matrix the golden traces pin down)
-and walks the live :class:`~repro.kernel.stages.Stage` /
+overlay+Falcon+GRO-split, plus both flow-cache regimes — the same
+matrix the golden traces pin down) and walks the live
+:class:`~repro.kernel.stages.Stage` /
 :class:`~repro.kernel.stages.Transition` objects. Falcon only swaps the
 *selectors* inside transitions (``core/falcon.py`` /
-``core/pipelining.py``), never the stage topology, so every
-configuration folds into one DAG; the analyzer would still notice if a
-config ever grew a new stage, because that config is built here too.
+``core/pipelining.py``), never the stage topology; the flow cache adds
+the ``fastpath`` stage and a hit/miss fork at the driver exit, which is
+walked through :class:`~repro.kernel.stages.FastPathTransition` — so
+every configuration folds into one DAG, and the analyzer would still
+notice if a config ever grew a new stage, because that config is built
+here too.
 
 From the graph we extract:
 
@@ -120,7 +124,7 @@ class StageOrderSpec:
 def _reference_stacks() -> List[object]:
     """Build the shipped stack configurations (imports deferred so the
     analysis framework stays importable without the simulator)."""
-    from repro.core.config import FalconConfig
+    from repro.core.config import FalconConfig, FlowCacheConfig
     from repro.hw.topology import Machine
     from repro.kernel.stack import NetworkStack, StackConfig
     from repro.sim.engine import Simulator
@@ -131,6 +135,16 @@ def _reference_stacks() -> List[object]:
         StackConfig(mode="overlay", falcon=None),
         StackConfig(mode="overlay", falcon=FalconConfig()),
         StackConfig(mode="overlay", falcon=FalconConfig(split_gro=True)),
+        # The flow-cache datapath adds the fastpath stage and the
+        # hit/miss fork at the driver exit; both cache regimes are built
+        # so the derived spec legalizes the cache-hit skip without
+        # suppressions (and notices if the fork's shape ever changes).
+        StackConfig(mode="overlay", falcon=None, flowcache=FlowCacheConfig()),
+        StackConfig(
+            mode="overlay",
+            falcon=FalconConfig(split_gro=True),
+            flowcache=FlowCacheConfig(),
+        ),
     ]
     for config in configs:
         sim = Simulator()
@@ -141,11 +155,27 @@ def _reference_stacks() -> List[object]:
 
 def _stage_graph(stacks: List[object]) -> Tuple[Set[str], Set[Tuple[str, str]], Dict[str, Set[str]]]:
     """Walk live Stage/Transition objects into (stages, edges, steps)."""
-    from repro.kernel.stages import EnqueueTransition, SocketDeliver
+    from repro.kernel.stages import (
+        EnqueueTransition,
+        FastPathTransition,
+        SocketDeliver,
+    )
 
     stage_names: Set[str] = set()
     edges: Set[Tuple[str, str]] = set()
     steps_by_stage: Dict[str, Set[str]] = {}
+
+    def add_exit(stage_name: str, transition: object) -> None:
+        if isinstance(transition, FastPathTransition):
+            # The flow-cache fork: both the cache-hit jump and the slow
+            # miss edge are legal handoffs out of the driver stage.
+            add_exit(stage_name, transition.hit)
+            add_exit(stage_name, transition.miss)
+        elif isinstance(transition, EnqueueTransition):
+            edges.add((stage_name, transition.next_stage.name))
+        elif isinstance(transition, SocketDeliver):
+            edges.add((stage_name, SOCKET))
+
     for stack in stacks:
         stages = stack.stages  # type: ignore[attr-defined]
         for stage in stages.values():
@@ -153,11 +183,7 @@ def _stage_graph(stacks: List[object]) -> Tuple[Set[str], Set[Tuple[str, str]], 
             steps_by_stage.setdefault(stage.name, set()).update(
                 step.name for step in stage.steps
             )
-            exit_transition = stage.exit
-            if isinstance(exit_transition, EnqueueTransition):
-                edges.add((stage.name, exit_transition.next_stage.name))
-            elif isinstance(exit_transition, SocketDeliver):
-                edges.add((stage.name, SOCKET))
+            add_exit(stage.name, stage.exit)
         # The NIC interrupt feeds the driver stage.
         edges.add((HARDIRQ, stages["pnic"].name))
     edges.add((ALLOC, HARDIRQ))

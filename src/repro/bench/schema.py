@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Set
 #: Bump on any backwards-incompatible change to the document layout.
 SCHEMA_ID = "repro-bench/1"
 
-_BENCH_KINDS = ("engine", "scenario", "figure", "shard")
+_BENCH_KINDS = ("engine", "scenario", "figure", "shard", "flowcache")
 
 #: Required per-benchmark fields and their types.
 _ENTRY_FIELDS = (

@@ -1,14 +1,19 @@
 """The benchmark suite: what ``repro bench`` actually runs.
 
-Three kinds of benchmark, probing three layers:
+Four kinds of benchmark, probing four layers:
 
 * ``engine`` — event-core microbenches driving one
   :class:`~repro.sim.engine.Simulator` directly: schedule/cancel churn
   against each scheduler implementation, and a ``post_batch`` NAPI-storm
   pattern. These isolate raw events/sec.
 * ``scenario`` — sockperf-style :class:`~repro.workloads.sockperf.Testbed`
-  runs (UDP stress vanilla/Falcon, TCP stream Falcon): the whole stack,
-  one host, headline packet rates.
+  runs covering all four datapath regimes (vanilla, Falcon, ONCache,
+  ONCache+Falcon, plus TCP stream Falcon): the whole stack, one host,
+  headline packet rates. The ONCache regimes use the warm-then-stress
+  ramp — a cold cache under saturation never populates because the
+  ordering gate keeps flows on the slow path while it is busy.
+* ``flowcache`` — the per-flow fast-path cache hit-rate sweep (flow
+  count vs one cache capacity per bench), pinning LRU thrash behaviour.
 * ``figure`` — full figure reproductions from
   :mod:`repro.experiments.run_all`; their headline is the figure's raw
   series, so a perf regression and a *result* regression both surface.
@@ -48,6 +53,7 @@ ALL_FIGURES = (
     "fig17_webserving",
     "fig18_datacaching",
     "fig19_overhead",
+    "fig21_flowcache",
 )
 
 
@@ -56,7 +62,7 @@ class BenchSpec:
     """One runnable benchmark."""
 
     name: str
-    kind: str  # "engine" | "scenario" | "figure" | "shard"
+    kind: str  # "engine" | "scenario" | "figure" | "shard" | "flowcache"
     #: Included in ``--quick`` runs.
     quick: bool
     #: True for benchmarks that spawn their own worker processes (the
@@ -73,7 +79,15 @@ def all_specs() -> List[BenchSpec]:
         BenchSpec("engine-post-batch-storm", "engine", True),
         BenchSpec("scenario-udp-stress-vanilla", "scenario", True),
         BenchSpec("scenario-udp-stress-falcon", "scenario", True),
+        BenchSpec("scenario-udp-stress-oncache", "scenario", True),
+        BenchSpec("scenario-udp-stress-oncache-falcon", "scenario", True),
         BenchSpec("scenario-tcp-stream-falcon", "scenario", True),
+        # The flow-cache hit-rate sweep, one cache capacity per bench
+        # (mirrors fig21 panel b): flow counts above the capacity thrash
+        # the LRU and the hit rate collapses.
+        BenchSpec("flowcache-sweep-8", "flowcache", True),
+        BenchSpec("flowcache-sweep-32", "flowcache", False),
+        BenchSpec("flowcache-sweep-128", "flowcache", True),
         # The shard-count sweep: the same cluster at 1 (inline reference)
         # and 2/4 worker processes. Comparing their events/sec is the
         # sharded engine's headline speedup number.
@@ -207,9 +221,26 @@ def _scenario(name: str, seed: int, quick: bool) -> Dict[str, Any]:
     elif name == "scenario-tcp-stream-falcon":
         exp = Experiment(mode="overlay", falcon=falcon, seed=seed)
         result = exp.run_tcp_stream(4096, duration_ms=duration_ms, warmup_ms=warmup_ms)
+    elif name in (
+        "scenario-udp-stress-oncache",
+        "scenario-udp-stress-oncache-falcon",
+    ):
+        # ONCache regimes run the warm-then-stress ramp: the ordering
+        # gate only grants fast-path hits to flows with an empty slow
+        # path, so a saturating closed loop from a cold start would
+        # measure the slow path forever.
+        from repro.experiments.fig21_flowcache import run_ramp_regime
+
+        result = run_ramp_regime(
+            use_falcon=name.endswith("-falcon"),
+            use_cache=True,
+            warmup_ms=warmup_ms,
+            duration_ms=duration_ms,
+            seed=seed,
+        )
     else:
         raise ValueError(f"unknown scenario benchmark {name!r}")
-    return {
+    headline = {
         "mode": result.mode,
         "proto": result.proto,
         "message_rate_pps": round(result.message_rate_pps, 1),
@@ -217,6 +248,45 @@ def _scenario(name: str, seed: int, quick: bool) -> Dict[str, Any]:
         "p99_latency_us": round(result.p99_latency_us, 2),
         "drops": result.drops,
     }
+    if "oncache" in name:
+        headline["cache_hit_rate"] = round(result.cache_hit_rate, 4)
+        headline["fastpath_deliveries"] = result.fastpath_deliveries
+    return headline
+
+
+# ----------------------------------------------------------------------
+# Flow-cache sweep benches
+# ----------------------------------------------------------------------
+def _flowcache_sweep(name: str, seed: int, quick: bool) -> Dict[str, Any]:
+    """One capacity of the fast-path hit-rate sweep (fig21 panel b).
+
+    Flows are paced well under slow-path capacity so the ordering gate
+    opens at every flow count: the hit rate is then set purely by how
+    the flow count compares to the cache capacity (LRU thrash), which is
+    exactly the curve this bench pins.
+    """
+    from repro.experiments.fig21_flowcache import (
+        QUICK_SWEEP_FLOWS,
+        SWEEP_FLOWS,
+        SWEEP_RATE_PPS,
+        run_sweep_point,
+    )
+
+    capacity = int(name.rsplit("-", 1)[1])
+    flows_list = QUICK_SWEEP_FLOWS if quick else SWEEP_FLOWS
+    duration_ms, warmup_ms = (4.0, 2.0) if quick else (12.0, 6.0)
+    points: Dict[str, Any] = {}
+    for flows in flows_list:
+        result = run_sweep_point(
+            flows, capacity, warmup_ms=warmup_ms, duration_ms=duration_ms, seed=seed
+        )
+        points[str(flows)] = {
+            "message_rate_pps": round(result.message_rate_pps, 1),
+            "hit_rate": round(result.cache_hit_rate, 4),
+            "evictions": result.cache_evictions,
+            "fastpath_deliveries": result.fastpath_deliveries,
+        }
+    return {"capacity": capacity, "rate_pps": SWEEP_RATE_PPS, "points": points}
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +370,8 @@ def execute(name: str, seed: int, quick: bool) -> Dict[str, Any]:
         return _engine_post_batch_storm(seed, quick)
     if name.startswith("scenario-"):
         return _scenario(name, seed, quick)
+    if name.startswith("flowcache-"):
+        return _flowcache_sweep(name, seed, quick)
     if name.startswith("shard-"):
         return _shard_bench(name, seed, quick)
     if name.startswith("figure-"):

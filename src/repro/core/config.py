@@ -66,3 +66,28 @@ class FalconConfig:
     def disabled(cls) -> "FalconConfig":
         """Vanilla-overlay configuration (Falcon compiled out)."""
         return cls(enabled=False, cpus=[0])
+
+
+@dataclass
+class FlowCacheConfig:
+    """ONCache-style per-flow fast-path cache knobs.
+
+    The cache is a *datapath* selection orthogonal to Falcon's steering:
+    a cache hit removes the device-chain work entirely, Falcon
+    parallelizes whatever work remains. Both can be on at once.
+    """
+
+    #: Master switch. When False the stack builds no flow tables.
+    enabled: bool = True
+    #: LRU entry budget, per direction (the ingress and egress tables
+    #: each hold this many flows).
+    capacity: int = 128
+
+    def validate(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("flow cache capacity must be >= 1")
+
+    @classmethod
+    def disabled(cls) -> "FlowCacheConfig":
+        """Explicit cache-off configuration."""
+        return cls(enabled=False)

@@ -13,7 +13,7 @@ stock overlay network.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Dict
 
 from repro.core.balancing import make_balancer
 from repro.core.config import FalconConfig
@@ -38,6 +38,11 @@ class FalconSteering:
         self.steered = 0
         #: Transitions that fell back to the vanilla path (load gate).
         self.fallbacks = 0
+        #: Steered transitions per device index — which FALCON point
+        #: fired. With the flow cache on, hit packets skip the VXLAN
+        #: transition but still pass the veth/fast-path one; this map is
+        #: how tests assert the two mechanisms actually compose.
+        self.steered_by_ifindex: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -62,6 +67,9 @@ class FalconSteering:
             self.fallbacks += 1
             return current_cpu
         self.steered += 1
+        self.steered_by_ifindex[ifindex] = (
+            self.steered_by_ifindex.get(ifindex, 0) + 1
+        )
         return self.balancer.select(
             self.machine, self.config.cpus, skb.hash, ifindex
         )

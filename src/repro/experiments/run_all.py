@@ -51,6 +51,7 @@ FIGURES: List[str] = [
     "fig18_datacaching",
     "fig19_overhead",
     "fig20_shard_scaling",
+    "fig21_flowcache",
 ]
 
 

@@ -103,6 +103,15 @@ class CostModel:
     br_handle_frame: FuncCost = FuncCost(0.15, 0.00001)
     veth_xmit: FuncCost = FuncCost(0.12, 0.00001)
 
+    # --- ONCache fast path ----------------------------------------------
+    #: Cached-hit handling at the driver exit: one flow-table lookup plus
+    #: the memoized header rewrite (decap included). Replaces the whole
+    #: hoststack_outer + bridge/veth device chain for a warm flow.
+    flowcache_fastpath: FuncCost = FuncCost(0.18, 0.00001)
+    #: Sender-side overlay transmit with a warm egress entry: the encap
+    #: headers are copied from the cached template instead of recomputed.
+    tx_overlay_cached: FuncCost = FuncCost(2.05, 0.00008)
+
     # --- user space ------------------------------------------------------
     #: Socket read syscall + copy_to_user per delivered skb.
     copy_to_user: FuncCost = FuncCost(0.85, 0.00015)
@@ -164,8 +173,10 @@ class CostModel:
     # ------------------------------------------------------------------
     # Derived helpers
     # ------------------------------------------------------------------
-    def tx_cost_us(self, nbytes: int, overlay: bool) -> float:
-        return (self.tx_overlay if overlay else self.tx_host).cost(nbytes)
+    def tx_cost_us(self, nbytes: int, overlay: bool, cached: bool = False) -> float:
+        if overlay:
+            return (self.tx_overlay_cached if cached else self.tx_overlay).cost(nbytes)
+        return self.tx_host.cost(nbytes)
 
 
 def udp_payload_per_fragment(overlay: bool) -> int:

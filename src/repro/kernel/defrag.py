@@ -35,6 +35,9 @@ class DefragEngine:
         self._gc_scheduled = False
         #: Optional :class:`repro.validate.InvariantMonitor` hook.
         self.monitor = None
+        #: The stack's :class:`repro.kernel.flowcache.FlowCache` (or None);
+        #: expired reassemblies must settle their slow-path reservations.
+        self.flowcache = None
 
     def feed(self, skb: Skb, _cpu_index: int = 0) -> Optional[Skb]:
         """Offer a fragment; returns the reassembled datagram when complete."""
@@ -49,6 +52,11 @@ class DefragEngine:
         head = entry[0]
         entry[1] += 1
         entry[2] += skb.size
+        if head is not skb and skb.fastpath is not None:
+            # Reassembled datagrams may mix datapaths (fast fragments
+            # merging with slow ones): the head accumulates the fast
+            # count so exit hooks release exactly the slow reservations.
+            head.fastpath = (head.fastpath or 0) + skb.fastpath
         if entry[1] < skb.frag_count:
             return None
         # Complete: emit one datagram carrying the whole message.
@@ -75,6 +83,8 @@ class DefragEngine:
         for key in expired:
             entry = self._table.pop(key)
             self.defrag_timeouts += 1
+            if self.flowcache is not None:
+                self.flowcache.defrag_expired(entry[0], entry[1])
             if self.monitor is not None:
                 # entry[1] wire packets leave the pipeline with the entry.
                 self.monitor.on_defrag_timeout(entry[1])

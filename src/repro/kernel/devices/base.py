@@ -20,6 +20,10 @@ IFINDEX_BRIDGE = 4
 IFINDEX_VETH = 5
 #: Synthetic index for the offloaded half of a split pNIC stage.
 IFINDEX_PNIC_SPLIT = 1002
+#: Synthetic index for the ONCache fast-path hit stage (a cache hit is
+#: not a real net_device; the index keeps Falcon's per-device hashing
+#: distinct from every real stage).
+IFINDEX_FASTPATH = 1003
 
 
 @dataclass(frozen=True)

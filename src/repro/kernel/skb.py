@@ -101,6 +101,7 @@ class Skb:
         "t_nic",
         "last_cpu",
         "encapsulated",
+        "fastpath",
         "meta",
     )
 
@@ -142,6 +143,11 @@ class Skb:
         self.last_cpu: Optional[int] = None
         #: True while the packet still wears its VXLAN outer header.
         self.encapsulated = encapsulated
+        #: Flow-cache datapath verdict: None until the driver-exit check
+        #: runs, 0 after a slow-path (miss) verdict, else the number of
+        #: wire segments that took the cached fast path (defrag sums the
+        #: per-fragment verdicts into the reassembled head).
+        self.fastpath: Optional[int] = None
         #: Workload-specific payload (request objects etc.).
         self.meta = meta
 

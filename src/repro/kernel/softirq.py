@@ -181,6 +181,9 @@ class SoftirqNet:
         self._ipi_rng = self.ctx.stream("ipi-jitter")
         #: Optional :class:`repro.validate.InvariantMonitor` hook.
         self.monitor: Optional[Any] = None
+        #: The stack's :class:`repro.kernel.flowcache.FlowCache` (or None);
+        #: backlog drops must settle the cache's slow-in-flight ledger.
+        self.flowcache: Optional[Any] = None
         #: Calls to raise_net_rx (per-packet granularity in the overlay).
         self.softirq_raises = 0
         #: net_rx_action invocations — how often a softirq handler actually
@@ -268,6 +271,8 @@ class SoftirqNet:
         napi = data.queue_for(stage)
         if from_cpu != target_cpu and len(napi.queue) >= napi.capacity:
             napi.drops += 1
+            if self.flowcache is not None:
+                self.flowcache.packet_terminated(skb)
             if self.monitor is not None:
                 self.monitor.on_terminal(skb, "backlog_drop")
             return

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.config import FalconConfig
+from repro.core.config import FalconConfig, FlowCacheConfig
 from repro.core.falcon import FalconSteering, VanillaSteering
 from repro.core.splitting import GRO_SPLIT, validate_split
 from repro.hw.nic import Nic
@@ -41,12 +41,20 @@ from repro.kernel.devices import bridge as bridge_dev
 from repro.kernel.devices import physical as pnic_dev
 from repro.kernel.devices import veth as veth_dev
 from repro.kernel.devices import vxlan as vxlan_dev
+from repro.kernel.flowcache import FlowCache, fastpath_step
 from repro.kernel.gro import GroCluster
 from repro.kernel.protocol import stack_tail_steps
 from repro.kernel.skb import FlowKey, Skb
 from repro.kernel.sockets import MessageCallback, Socket, SocketTable
 from repro.kernel.softirq import SoftirqNet
-from repro.kernel.stages import EnqueueTransition, SocketDeliver, Stage, Step
+from repro.kernel.stages import (
+    EnqueueTransition,
+    FastPathTransition,
+    SocketDeliver,
+    Stage,
+    Step,
+    Transition,
+)
 from repro.kernel.steering import Rfs, Rps
 from repro.kernel.timers import LoadTracker
 from repro.sim.context import SimContext
@@ -87,6 +95,8 @@ class StackConfig:
     load_alpha: float = 0.5
     #: Falcon configuration; None builds a vanilla stack.
     falcon: Optional[FalconConfig] = None
+    #: ONCache-style flow cache; None (or disabled) keeps two datapaths.
+    flowcache: Optional[FlowCacheConfig] = None
 
     def resolve_costs(self) -> CostModel:
         return self.costs if self.costs is not None else CostModel.for_kernel(
@@ -155,6 +165,17 @@ class NetworkStack:
         self.gro = GroCluster(machine.num_cpus) if config.gro_enabled else None
         self.defrag = DefragEngine(self.sim)
 
+        # --- flow cache (third datapath; overlay only) ---------------------
+        if (
+            config.flowcache is not None
+            and config.flowcache.enabled
+            and self.is_overlay
+        ):
+            self.flowcache: Optional[FlowCache] = FlowCache(config.flowcache)
+        else:
+            self.flowcache = None
+        self.defrag.flowcache = self.flowcache
+
         # --- softirq subsystem ---------------------------------------------
         self.softnet = SoftirqNet(
             machine,
@@ -165,10 +186,13 @@ class NetworkStack:
             batch_max=config.batch_max,
             backlog_capacity=config.backlog_capacity,
         )
+        self.softnet.flowcache = self.flowcache
 
         # --- sockets ---------------------------------------------------------
         self.sockets = SocketTable()
         self.delivered_packets = 0
+        #: Wire segments delivered via the cached fast path.
+        self.fastpath_deliveries = 0
         self.unroutable_packets = 0
         #: Pure-ACK packets consumed by the stack (request/response loads).
         self.control_packets = 0
@@ -276,12 +300,41 @@ class NetworkStack:
             )
             self.stages["hoststack_outer"] = hoststack
             after_driver: Stage = hoststack
+
+            if self.flowcache is not None:
+                # Fast-path stage: one cached-cost step, then straight to
+                # the container tail through a FALCON transition point —
+                # the cache removes work, Falcon parallelizes the rest.
+                fastpath = Stage(
+                    "fastpath",
+                    devices.IFINDEX_FASTPATH,
+                    [fastpath_step(costs)],
+                    EnqueueTransition(
+                        tail,
+                        steering.selector(devices.IFINDEX_VETH),
+                        name="netif_rx[fastpath]",
+                    ),
+                )
+                self.stages["fastpath"] = fastpath
         else:
             after_driver = tail
 
-        rps_transition = EnqueueTransition(
+        rps_transition: Transition = EnqueueTransition(
             after_driver, self._rps_selector(), name="rps"
         )
+        if self.flowcache is not None:
+            # The driver exit consults the flow cache: hits jump to the
+            # fast-path stage (still RPS-steered off the driver core),
+            # misses ride the unchanged slow device chain.
+            rps_transition = FastPathTransition(
+                self.flowcache,
+                hit=EnqueueTransition(
+                    self.stages["fastpath"],
+                    self._rps_selector(),
+                    name="rps[fastpath]",
+                ),
+                miss=rps_transition,
+            )
 
         split = (
             self.falcon is not None
@@ -337,6 +390,11 @@ class NetworkStack:
     def deliver_to_socket(self, skb: Skb, cpu_index: int) -> None:
         tracer = self.ctx.tracer
         monitor = self._monitor
+        flowcache = self.flowcache
+        if flowcache is not None:
+            # Whatever the outcome below, the packet leaves the pipeline
+            # here: settle its slow-path reservation first.
+            flowcache.packet_terminated(skb)
         if tracer is not None and tracer.wants(skb):
             tracer.record(skb, self.sim.now, "deliver", "socket", cpu_index)
         if skb.meta == "ctl":
@@ -356,6 +414,13 @@ class NetworkStack:
         skb.last_cpu = cpu_index
         if socket.enqueue(skb):
             self.delivered_packets += 1
+            if flowcache is not None and skb.fastpath is not None:
+                if skb.fastpath:
+                    self.fastpath_deliveries += skb.fastpath
+                    if monitor is not None:
+                        monitor.on_fastpath_delivery(cpu_index, skb.fastpath)
+                # A completed slow traversal (re)populates the entry.
+                flowcache.delivered(skb)
             if monitor is not None:
                 monitor.on_terminal(skb, "delivered")
         elif monitor is not None:
@@ -408,6 +473,11 @@ class NetworkStack:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
+    def cache_counters(self) -> dict:
+        """Flow-cache hit/miss/eviction/invalidation counters (empty when
+        the cache is off)."""
+        return self.flowcache.counters() if self.flowcache is not None else {}
+
     def drop_counts(self) -> dict:
         socket_drops = sum(sock.drops for sock in self.sockets.sockets())
         return {

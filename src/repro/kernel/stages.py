@@ -114,6 +114,41 @@ class SocketDeliver(Transition):
         stack.deliver_to_socket(skb, cpu_index)
 
 
+class FlowCachePort(Protocol):
+    """The slice of :class:`repro.kernel.flowcache.FlowCache` a datapath
+    decision needs (avoids an import cycle with the step builders)."""
+
+    def access_rx(self, skb: Skb) -> bool: ...
+
+
+class FastPathTransition(Transition):
+    """Datapath selection at the driver exit: consult the flow cache.
+
+    A hit routes via ``hit`` (the single-step fast-path stage feeding the
+    container tail directly); a miss routes via ``miss`` (the unchanged
+    slow device chain). The cache stamps ``skb.fastpath`` with the
+    verdict so downstream exit hooks can settle the ordering-gate ledger.
+    """
+
+    def __init__(
+        self,
+        cache: FlowCachePort,
+        hit: Transition,
+        miss: Transition,
+        name: str = "flowcache",
+    ) -> None:
+        self.cache = cache
+        self.hit = hit
+        self.miss = miss
+        self.name = name
+
+    def route(self, skb: Skb, cpu_index: int, stack: StackPort) -> None:
+        if self.cache.access_rx(skb):
+            self.hit.route(skb, cpu_index, stack)
+        else:
+            self.miss.route(skb, cpu_index, stack)
+
+
 class Stage:
     """A softirq-granularity processing stage at one network device."""
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import FalconConfig
+from repro.core.config import FalconConfig, FlowCacheConfig
 from repro.hw.link import Link
 from repro.hw.lookahead import lookahead_from_latencies
 from repro.kernel.skb import PROTO_TCP, PROTO_UDP, FlowKey, Skb
@@ -50,6 +50,9 @@ FLOW_ID_BASE = 1 << 20
 
 RECORD_SKB = "skb"
 RECORD_CREDIT = "credit"
+#: Flow-cache invalidation: container churn on the destination host
+#: tells each sender host to drop its egress fast-path entry.
+RECORD_INVAL = "inval"
 
 
 def host_ip(host: int) -> int:
@@ -110,11 +113,28 @@ class ClusterSpec:
     trace: bool = False
     trace_sample_every: int = 10
     trace_max: int = 64
+    #: Enable the per-flow fast-path cache on every host's stack.
+    flowcache: bool = False
+    flowcache_capacity: int = 128
+    #: Container churn events: ``(time_us, host)`` — at that time the
+    #: host's server container restarts (migration / FDB flush), which
+    #: invalidates its local cache entries and sends ``RECORD_INVAL`` to
+    #: every sender targeting it (possibly across a shard boundary).
+    churn: Tuple[Tuple[float, int], ...] = ()
 
     def validate(self) -> None:
         if self.num_hosts < 1:
             raise ConfigurationError("cluster needs at least one host")
         lookahead_from_latencies([self.propagation_us])
+        if self.flowcache and self.flowcache_capacity < 1:
+            raise ConfigurationError("flowcache capacity must be >= 1")
+        for index, (time_us, h) in enumerate(self.churn):
+            if time_us < 0:
+                raise ConfigurationError(f"churn {index}: negative time")
+            if not 0 <= h < self.num_hosts:
+                raise ConfigurationError(
+                    f"churn {index}: host {h} outside cluster"
+                )
         for index, flow in enumerate(self.flows):
             if flow.kind not in ("udp", "tcp"):
                 raise ConfigurationError(f"flow {index}: unknown kind {flow.kind!r}")
@@ -147,12 +167,16 @@ class ClusterSpec:
             self.trace,
             self.trace_sample_every,
             self.trace_max,
+            self.flowcache,
+            self.flowcache_capacity,
+            tuple(tuple(entry) for entry in self.churn),
         )
 
     @classmethod
     def from_wire(cls, wire: Tuple[Any, ...]) -> "ClusterSpec":
         fields = list(wire)
         fields[1] = tuple(ClusterFlow.from_wire(f) for f in fields[1])
+        fields[-1] = tuple(tuple(entry) for entry in fields[-1])
         return cls(*fields)
 
 
@@ -166,6 +190,29 @@ def udp_ring_spec(
     equivalence/golden scenario (every host both sends and receives)."""
     flows = tuple(
         ClusterFlow("udp", h, (h + 1) % num_hosts, message_size, rate_pps)
+        for h in range(num_hosts)
+    )
+    return ClusterSpec(num_hosts=num_hosts, flows=flows, **overrides)
+
+
+def udp_double_ring_spec(
+    num_hosts: int = 3,
+    message_size: int = 512,
+    rate_pps: float = 40_000.0,
+    rate2_pps: float = 12_000.0,
+    **overrides: Any,
+) -> ClusterSpec:
+    """Two interleaved UDP rings (stride 1 and stride 2), so every host
+    *receives two flows* — with a small ``flowcache_capacity`` this
+    thrashes the ingress table and exercises the full cache lifecycle
+    (miss → hit → evict → invalidate when combined with churn)."""
+    if num_hosts < 3:
+        raise ConfigurationError("double ring needs at least three hosts")
+    flows = tuple(
+        ClusterFlow("udp", h, (h + 1) % num_hosts, message_size, rate_pps)
+        for h in range(num_hosts)
+    ) + tuple(
+        ClusterFlow("udp", h, (h + 2) % num_hosts, message_size, rate2_pps)
         for h in range(num_hosts)
     )
     return ClusterSpec(num_hosts=num_hosts, flows=flows, **overrides)
@@ -303,12 +350,18 @@ class _ClusterHost:
     def __init__(self, sim: Simulator, spec: ClusterSpec, index: int) -> None:
         self.index = index
         falcon = FalconConfig() if spec.falcon else None
+        flowcache = (
+            FlowCacheConfig(capacity=spec.flowcache_capacity)
+            if spec.flowcache
+            else None
+        )
         config = StackConfig(
             mode=MODE_OVERLAY,
             irq_cpus=[0],
             rps_cpus=[1],
             steering="rps",
             falcon=falcon,
+            flowcache=flowcache,
         )
         self.host = Host(
             sim,
@@ -361,6 +414,10 @@ class _ClusterHost:
                 for sock in self.host.stack.sockets.sockets()
             ),
         }
+        flowcache = self.host.stack.flowcache
+        if flowcache is not None:
+            doc["flowcache"] = dict(sorted(flowcache.counters().items()))
+            doc["fastpath_deliveries"] = self.host.stack.fastpath_deliveries
         if self.tracer is not None:
             doc["trace_entries"] = [
                 [
@@ -420,6 +477,33 @@ class ClusterWorld:
             self.sim.post_at(end, world_host.window.close)
             for sender in world_host.senders.values():
                 sender.start(until_us=end)
+        # Container churn runs on the churned host's shard; the sender
+        # side learns about it through RECORD_INVAL records, which cross
+        # shard boundaries like any other record.
+        for time_us, h in spec.churn:
+            if h in self.by_index:
+                self.sim.post_at(time_us, self._churn, self.by_index[h])
+
+    def _churn(self, world_host: _ClusterHost) -> None:
+        """The host's server container restarts (migration/FDB flush).
+
+        Locally every cached flow touching the container's IP is stale;
+        remotely, each sender that targets this host must drop its egress
+        template — the invalidation travels one propagation delay, the
+        same causality bound the TCP credits use.
+        """
+        flowcache = world_host.host.stack.flowcache
+        if flowcache is not None:
+            flowcache.invalidate_ip(container_ip(world_host.index))
+        propagation = self.spec.propagation_us
+        for flow_index, flow in enumerate(self.spec.flows):
+            if flow.dst == world_host.index:
+                world_host.outbox.emit(
+                    self.sim.now + propagation,
+                    RECORD_INVAL,
+                    flow.src,
+                    (flow_index,),
+                )
 
     @staticmethod
     def _open_window(world_host: _ClusterHost) -> None:
@@ -548,8 +632,25 @@ class ClusterWorld:
                         f"on host {record.dst}"
                     )
                 self.sim.post_at(record.time, sender.remote_credit)
+            elif record.kind == RECORD_INVAL:
+                flow_index = record.payload[0] if record.payload else None
+                sender = world_host.senders.get(flow_index)  # type: ignore[arg-type]
+                if sender is None:
+                    raise ShardError(
+                        f"inval record for unknown flow {flow_index!r} on "
+                        f"host {record.dst}"
+                    )
+                self.sim.post_at(
+                    record.time, self._sender_inval, world_host, sender.flow
+                )
             else:
                 raise ShardError(f"unknown cross-shard record kind {record.kind!r}")
+
+    @staticmethod
+    def _sender_inval(world_host: _ClusterHost, flow: FlowKey) -> None:
+        flowcache = world_host.host.stack.flowcache
+        if flowcache is not None:
+            flowcache.invalidate_flow(flow)
 
     def finalize(self) -> Dict[str, Any]:
         return {
@@ -714,6 +815,17 @@ def run_cluster(
                 "flows": [list(flow.to_wire()) for flow in spec.flows],
                 "warmup_us": spec.warmup_us,
                 "duration_us": spec.duration_us,
+                # Only stamped when the cache datapath is on, so the
+                # pre-cache goldens stay byte-identical.
+                **(
+                    {
+                        "flowcache": True,
+                        "flowcache_capacity": spec.flowcache_capacity,
+                        "churn": [list(entry) for entry in spec.churn],
+                    }
+                    if spec.flowcache
+                    else {}
+                ),
             },
         )
         for doc in per_host:

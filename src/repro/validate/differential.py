@@ -1,9 +1,12 @@
-"""Differential testing: vanilla RPS vs Falcon must agree on semantics.
+"""Differential testing: the steering/datapath regimes must agree on
+semantics.
 
-Falcon changes *where* packets are processed, never *what* happens to
-them. This module runs the same workload twice — once on a vanilla
-RPS-steered overlay stack and once with Falcon enabled — and asserts the
-properties Falcon is required to preserve:
+Falcon changes *where* packets are processed; the flow cache changes
+*which stages* they traverse. Neither may change *what* happens to them.
+This module runs the same workload twice — one regime per side, by
+default vanilla RPS vs Falcon, but any pair from ``REGIMES`` (vanilla,
+falcon, oncache, oncache_falcon) — and asserts the properties every
+regime is required to preserve:
 
 * **message conservation** — every message the clients sent is delivered
   exactly once on both sides (the workloads are deliberately underloaded
@@ -28,9 +31,18 @@ from typing import Dict, List, Optional, Tuple
 Delivery = Tuple[int, int]
 
 
+#: Regime label -> (enable falcon, enable flow cache).
+REGIMES: Dict[str, Tuple[bool, bool]] = {
+    "vanilla": (False, False),
+    "falcon": (True, False),
+    "oncache": (False, True),
+    "oncache_falcon": (True, True),
+}
+
+
 @dataclass
 class SideRecord:
-    """Everything one side (vanilla or falcon) of a differential run saw."""
+    """Everything one side (one regime) of a differential run saw."""
 
     label: str
     #: flow index (creation order) -> deliveries in completion order.
@@ -65,6 +77,8 @@ class DiffScenario:
     #: Extra simulated time for in-flight tail messages to complete.
     drain_ms: float = 8.0
     seed: int = 0
+    #: The two regimes to compare (labels from :data:`REGIMES`).
+    regimes: Tuple[str, str] = ("vanilla", "falcon")
 
 
 @dataclass
@@ -72,8 +86,8 @@ class DiffReport:
     """Outcome of one differential run."""
 
     scenario: DiffScenario
-    vanilla: SideRecord
-    falcon: SideRecord
+    baseline: SideRecord
+    candidate: SideRecord
     failures: List[str]
 
     @property
@@ -81,13 +95,17 @@ class DiffReport:
         return not self.failures
 
 
-def _run_side(scenario: DiffScenario, use_falcon: bool) -> SideRecord:
-    from repro.core.config import FalconConfig
+def _run_side(scenario: DiffScenario, regime: str) -> SideRecord:
+    from repro.core.config import FalconConfig, FlowCacheConfig
     from repro.workloads.sockperf import Testbed
 
+    use_falcon, use_cache = REGIMES[regime]
     falcon = FalconConfig() if use_falcon else None
-    label = "falcon" if use_falcon else "vanilla"
-    bed = Testbed(mode="overlay", falcon=falcon, seed=scenario.seed)
+    flowcache = FlowCacheConfig() if use_cache else None
+    label = regime
+    bed = Testbed(
+        mode="overlay", falcon=falcon, flowcache=flowcache, seed=scenario.seed
+    )
     record = SideRecord(label=label)
     flow_keys = []
     for index in range(scenario.flows):
@@ -131,10 +149,10 @@ def _run_side(scenario: DiffScenario, use_falcon: bool) -> SideRecord:
     return record
 
 
-def compare_sides(vanilla: SideRecord, falcon: SideRecord) -> List[str]:
-    """The Falcon-invariant properties, as readable failure messages."""
+def compare_sides(baseline: SideRecord, candidate: SideRecord) -> List[str]:
+    """The regime-invariant properties, as readable failure messages."""
     failures: List[str] = []
-    for side in (vanilla, falcon):
+    for side in (baseline, candidate):
         if side.drops:
             failures.append(
                 f"{side.label}: dropped packets in an underloaded run: {side.drops}"
@@ -161,45 +179,47 @@ def compare_sides(vanilla: SideRecord, falcon: SideRecord) -> List[str]:
                         f"after msg {ids[position - 1]}"
                     )
                     break
-    if set(vanilla.deliveries) != set(falcon.deliveries):
+    if set(baseline.deliveries) != set(candidate.deliveries):
         failures.append(
-            f"flow sets differ: vanilla {sorted(vanilla.deliveries)} vs "
-            f"falcon {sorted(falcon.deliveries)}"
+            f"flow sets differ: {baseline.label} {sorted(baseline.deliveries)} vs "
+            f"{candidate.label} {sorted(candidate.deliveries)}"
         )
-    for flow_index in sorted(set(vanilla.deliveries) & set(falcon.deliveries)):
-        want = vanilla.deliveries[flow_index]
-        got = falcon.deliveries[flow_index]
+    for flow_index in sorted(set(baseline.deliveries) & set(candidate.deliveries)):
+        want = baseline.deliveries[flow_index]
+        got = candidate.deliveries[flow_index]
         if want == got:
             continue
         if len(want) != len(got):
             failures.append(
-                f"flow {flow_index}: vanilla delivered {len(want)} messages, "
-                f"falcon {len(got)}"
+                f"flow {flow_index}: {baseline.label} delivered {len(want)} "
+                f"messages, {candidate.label} {len(got)}"
             )
         for position, (w, g) in enumerate(zip(want, got)):
             if w != g:
                 failures.append(
-                    f"flow {flow_index} position {position}: vanilla delivered "
-                    f"msg {w[0]} ({w[1]} B), falcon msg {g[0]} ({g[1]} B)"
+                    f"flow {flow_index} position {position}: {baseline.label} "
+                    f"delivered msg {w[0]} ({w[1]} B), {candidate.label} "
+                    f"msg {g[0]} ({g[1]} B)"
                 )
                 break
-    if vanilla.delivered_bytes != falcon.delivered_bytes:
+    if baseline.delivered_bytes != candidate.delivered_bytes:
         failures.append(
-            f"application byte counts differ: vanilla {vanilla.delivered_bytes} "
-            f"vs falcon {falcon.delivered_bytes}"
+            f"application byte counts differ: {baseline.label} "
+            f"{baseline.delivered_bytes} vs {candidate.label} "
+            f"{candidate.delivered_bytes}"
         )
     return failures
 
 
 def run_differential(scenario: DiffScenario) -> DiffReport:
     """Run ``scenario`` on both sides and compare."""
-    vanilla = _run_side(scenario, use_falcon=False)
-    falcon = _run_side(scenario, use_falcon=True)
+    baseline = _run_side(scenario, scenario.regimes[0])
+    candidate = _run_side(scenario, scenario.regimes[1])
     return DiffReport(
         scenario=scenario,
-        vanilla=vanilla,
-        falcon=falcon,
-        failures=compare_sides(vanilla, falcon),
+        baseline=baseline,
+        candidate=candidate,
+        failures=compare_sides(baseline, candidate),
     )
 
 
@@ -220,5 +240,31 @@ DIFFERENTIAL_SCENARIOS = (
         rate_pps=10_000.0,
         flows=1,
         window_msgs=64,
+    ),
+    # The fast-path cache skips the slow device chain on hits; the
+    # ordering gate must keep delivery semantics identical to vanilla
+    # (same payload sets, same per-flow order, zero reorders).
+    DiffScenario(
+        name="udp_fixed_oncache",
+        proto="udp",
+        message_size=512,
+        rate_pps=40_000.0,
+        regimes=("vanilla", "oncache"),
+    ),
+    DiffScenario(
+        name="udp_fixed_oncache_falcon",
+        proto="udp",
+        message_size=512,
+        rate_pps=40_000.0,
+        regimes=("vanilla", "oncache_falcon"),
+    ),
+    DiffScenario(
+        name="tcp_paced_oncache",
+        proto="tcp",
+        message_size=4096,
+        rate_pps=10_000.0,
+        flows=1,
+        window_msgs=64,
+        regimes=("vanilla", "oncache"),
     ),
 )

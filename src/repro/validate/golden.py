@@ -168,6 +168,24 @@ GOLDEN_SCENARIOS = (
         "message_size": 4096,
         "window_msgs": 16,
     },
+    # The flow-cache (ONCache) datapath: paced rates so the ordering
+    # gate opens and the traces actually take the fastpath stage.
+    {
+        "name": "udp_fixed_oncache",
+        "falcon": False,
+        "flowcache": True,
+        "proto": "udp",
+        "message_size": 512,
+        "rate_pps": 60_000.0,
+    },
+    {
+        "name": "udp_fixed_oncache_falcon",
+        "falcon": True,
+        "flowcache": True,
+        "proto": "udp",
+        "message_size": 512,
+        "rate_pps": 60_000.0,
+    },
 )
 
 
@@ -204,12 +222,29 @@ CLUSTER_GOLDEN_SCENARIOS = (
         "window_msgs": 8,
         "falcon": False,
     },
+    # Full cache lifecycle under the sharded engine: two flows per host
+    # thrash a capacity-1 ingress table (miss → hit → evict), then
+    # mid-run churn on host 1 invalidates locally and sends RECORD_INVAL
+    # to its senders (across a shard boundary at shards > 1).
+    {
+        "name": "cluster_udp_ring_oncache_churn",
+        "kind": "cluster",
+        "proto": "udp2",
+        "num_hosts": 3,
+        "message_size": 512,
+        "rate_pps": 40_000.0,
+        "rate2_pps": 12_000.0,
+        "falcon": False,
+        "flowcache": True,
+        "flowcache_capacity": 1,
+        "churn": [[3500.0, 1]],
+    },
 )
 
 
 def run_golden_scenario(spec: Dict, duration_ms: float = 5.0, warmup_ms: float = 2.0) -> Dict:
     """Run one golden scenario with a tracer attached; return its document."""
-    from repro.core.config import FalconConfig
+    from repro.core.config import FalconConfig, FlowCacheConfig
     from repro.metrics.tracing import PacketTracer
     from repro.workloads.sockperf import Testbed
 
@@ -218,7 +253,17 @@ def run_golden_scenario(spec: Dict, duration_ms: float = 5.0, warmup_ms: float =
     falcon = None
     if spec.get("falcon"):
         falcon = FalconConfig(split_gro=bool(spec.get("split_gro")))
-    bed = Testbed(mode="overlay", falcon=falcon, seed=int(spec.get("seed", 0)))
+    flowcache = None
+    if spec.get("flowcache"):
+        flowcache = FlowCacheConfig(
+            capacity=int(spec.get("flowcache_capacity", 128))
+        )
+    bed = Testbed(
+        mode="overlay",
+        falcon=falcon,
+        flowcache=flowcache,
+        seed=int(spec.get("seed", 0)),
+    )
     tracer = PacketTracer(sample_every=10, max_messages=64)
     bed.stack.tracer = tracer
     if spec["proto"] == "udp":
@@ -235,7 +280,11 @@ def run_golden_scenario(spec: Dict, duration_ms: float = 5.0, warmup_ms: float =
 
 def cluster_spec_for(spec: Dict, shards_hint: int = 1):
     """Build the ClusterSpec behind one cluster golden scenario."""
-    from repro.overlay.cluster import tcp_ring_spec, udp_ring_spec
+    from repro.overlay.cluster import (
+        tcp_ring_spec,
+        udp_double_ring_spec,
+        udp_ring_spec,
+    )
 
     common = dict(
         num_hosts=int(spec["num_hosts"]),
@@ -245,10 +294,24 @@ def cluster_spec_for(spec: Dict, shards_hint: int = 1):
         warmup_us=2000.0,
         duration_us=5000.0,
     )
+    if spec.get("flowcache"):
+        common["flowcache"] = True
+        common["flowcache_capacity"] = int(spec.get("flowcache_capacity", 128))
+    if spec.get("churn"):
+        common["churn"] = tuple(
+            (float(time_us), int(h)) for time_us, h in spec["churn"]
+        )
     if spec["proto"] == "udp":
         return udp_ring_spec(
             message_size=spec["message_size"],
             rate_pps=spec["rate_pps"],
+            **common,
+        )
+    if spec["proto"] == "udp2":
+        return udp_double_ring_spec(
+            message_size=spec["message_size"],
+            rate_pps=spec["rate_pps"],
+            rate2_pps=spec["rate2_pps"],
             **common,
         )
     return tcp_ring_spec(

@@ -179,8 +179,10 @@ def run_differential_suite(quick: bool = False) -> List[SuiteOutcome]:
         report = run_differential(scenario)
         if report.ok:
             details = [
-                f"both sides delivered {report.vanilla.delivered_messages} messages "
-                f"({report.vanilla.delivered_bytes} B) in identical per-flow order"
+                f"{scenario.regimes[0]} vs {scenario.regimes[1]}: both sides "
+                f"delivered {report.baseline.delivered_messages} messages "
+                f"({report.baseline.delivered_bytes} B) in identical "
+                "per-flow order"
             ]
             outcomes.append(SuiteOutcome("differential", scenario.name, True, details))
         else:

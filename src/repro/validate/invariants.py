@@ -85,6 +85,10 @@ class InvariantMonitor:
         self.generated = 0
         #: Wire packets per terminal outcome since attach.
         self.terminals: Dict[str, int] = {kind: 0 for kind in TERMINAL_OUTCOMES}
+        #: Wire segments delivered via the flow-cache fast path (a subset
+        #: of ``terminals["delivered"]``), total and per delivering core.
+        self.fastpath_delivered = 0
+        self.fastpath_by_cpu: Dict[int, int] = {}
         #: Violation messages raised so far (also raised as exceptions).
         self.violations: List[str] = []
         #: Periodic audits completed.
@@ -218,6 +222,27 @@ class InvariantMonitor:
         self.terminals["defrag_timeout"] += npackets
         self.checks_passed += 1
 
+    def on_fastpath_delivery(self, cpu_index: int, segs: int) -> None:
+        """``segs`` wire segments reached their socket via the cached
+        fast path (reported just before the matching ``delivered``)."""
+        if segs <= 0:
+            self._fail(
+                "conservation",
+                f"fast-path delivery reported {segs} segments on core "
+                f"{cpu_index}",
+            )
+        self.fastpath_delivered += segs
+        self.fastpath_by_cpu[cpu_index] = (
+            self.fastpath_by_cpu.get(cpu_index, 0) + segs
+        )
+        if self.fastpath_delivered > self.generated:
+            self._fail(
+                "conservation",
+                f"fast-path deliveries ({self.fastpath_delivered}) exceed "
+                f"packets generated ({self.generated})",
+            )
+        self.checks_passed += 1
+
     # ------------------------------------------------------------------
     # Ledger
     # ------------------------------------------------------------------
@@ -244,6 +269,7 @@ class InvariantMonitor:
         entry = dict(self.terminals)
         entry["generated"] = self.generated
         entry["live"] = self.live_packets()
+        entry["fastpath_delivered"] = self.fastpath_delivered
         if self.stack is not None:
             entry["queued_observable"] = self.in_flight_observable()
         return entry

@@ -85,7 +85,13 @@ class BaseSender:
         )
 
     def _tx_cost_us(self, num_fragments: int) -> float:
-        cost = self.costs.tx_cost_us(self.message_size, self.overlay)
+        cached = False
+        if self.overlay and self.stack.flowcache is not None:
+            # Egress flow cache: a warm entry replaces the encap header
+            # construction with the cached template (checked per message;
+            # the sender is serialized per flow, so no ordering gate).
+            cached = self.stack.flowcache.access_tx(self.flow)
+        cost = self.costs.tx_cost_us(self.message_size, self.overlay, cached=cached)
         if num_fragments > 1:
             per_fragment = (
                 self.costs.tx_per_fragment_tcp

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.config import FalconConfig
+from repro.core.config import FalconConfig, FlowCacheConfig
 from repro.workloads.sockperf import RunResult, Testbed
 from repro.workloads.traffic import HotspotSchedule
 
@@ -28,6 +28,7 @@ def run_multiflow_udp(
     message_size: int = 16,
     mode: str = "overlay",
     falcon: Optional[FalconConfig] = None,
+    flowcache: Optional[FlowCacheConfig] = None,
     rps_cpus: Optional[List[int]] = None,
     app_cpus: Optional[List[int]] = None,
     rate_per_flow: Optional[float] = None,
@@ -41,6 +42,7 @@ def run_multiflow_udp(
     bed = Testbed(
         mode=mode,
         falcon=falcon,
+        flowcache=flowcache,
         kernel=kernel,
         bandwidth_gbps=bandwidth_gbps,
         rps_cpus=rps_cpus if rps_cpus is not None else [1, 2],
@@ -57,6 +59,7 @@ def run_multiflow_tcp(
     message_size: int = 4096,
     mode: str = "overlay",
     falcon: Optional[FalconConfig] = None,
+    flowcache: Optional[FlowCacheConfig] = None,
     rps_cpus: Optional[List[int]] = None,
     app_cpus: Optional[List[int]] = None,
     window_msgs: int = 32,
@@ -70,6 +73,7 @@ def run_multiflow_tcp(
     bed = Testbed(
         mode=mode,
         falcon=falcon,
+        flowcache=flowcache,
         kernel=kernel,
         bandwidth_gbps=bandwidth_gbps,
         rps_cpus=rps_cpus if rps_cpus is not None else [1, 2],

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.config import FalconConfig
+from repro.core.config import FalconConfig, FlowCacheConfig
 from repro.kernel.skb import PROTO_TCP, PROTO_UDP, FlowKey
 from repro.kernel.stack import MODE_HOST, MODE_OVERLAY, StackConfig
 from repro.metrics.meters import MeasurementWindow
@@ -63,6 +63,20 @@ class RunResult:
     reordered_messages: int
     falcon_steered: int = 0
     falcon_fallbacks: int = 0
+    #: Flow-cache counters (zero when the cache is off).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    cache_egress_hits: int = 0
+    cache_egress_misses: int = 0
+    #: Wire segments delivered via the cached fast path.
+    fastpath_deliveries: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     # Convenience aliases used throughout the experiments.
     @property
@@ -88,6 +102,7 @@ class Testbed:
         self,
         mode: str = MODE_OVERLAY,
         falcon: Optional[FalconConfig] = None,
+        flowcache: Optional[FlowCacheConfig] = None,
         kernel: str = "4.19",
         bandwidth_gbps: float = 100.0,
         num_cpus: int = 20,
@@ -114,6 +129,7 @@ class Testbed:
             rps_cpus=rps_cpus if rps_cpus is not None else [1],
             steering=steering,
             falcon=falcon,
+            flowcache=flowcache,
             gro_enabled=gro,
             batch_max=batch_max,
             backlog_capacity=backlog_capacity,
@@ -339,9 +355,13 @@ class Testbed:
             sum(sock.reordered_messages for sock in self._sockets)
             - self._reorders_at_open
         )
+        flowcache = self.stack.flowcache
+        cache = flowcache.counters() if flowcache is not None else {}
         mode_label = self.mode
+        if flowcache is not None:
+            mode_label = f"{mode_label}+cache"
         if falcon is not None and falcon.config.enabled:
-            mode_label = f"{self.mode}+falcon"
+            mode_label = f"{mode_label}+falcon"
         return RunResult(
             mode=mode_label,
             proto=proto,
@@ -368,6 +388,13 @@ class Testbed:
             reordered_messages=reorders,
             falcon_steered=falcon.steered if falcon else 0,
             falcon_fallbacks=falcon.fallbacks if falcon else 0,
+            cache_hits=cache.get("ingress_hits", 0),
+            cache_misses=cache.get("ingress_misses", 0),
+            cache_evictions=cache.get("ingress_evictions", 0),
+            cache_invalidations=cache.get("ingress_invalidations", 0),
+            cache_egress_hits=cache.get("egress_hits", 0),
+            cache_egress_misses=cache.get("egress_misses", 0),
+            fastpath_deliveries=self.stack.fastpath_deliveries,
         )
 
 

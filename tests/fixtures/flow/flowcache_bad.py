@@ -1,0 +1,20 @@
+"""Flow-cache fast path: stage skips must still respect the derived order.
+
+The cache-hit edge (driver -> fastpath -> container tail) is part of the
+derived spec, so a legitimate hit needs no suppression — but code that
+"bypasses" stages by running the fast-path step *after* the packet is
+already deep in the slow chain (i.e. without a cache check at the driver
+exit) moves the skb backwards and must still be flagged.
+"""
+
+
+class LateFastPath:
+    def bypass(self, stack, skb):
+        stack.br_handle_frame(skb)  # container-side bridge: rank 5
+        stack.flowcache_fastpath(skb)  # expect: FLOW401
+
+
+def stale_hit(stack, skb):
+    # A cache hit granted after delivery would replay a finished packet.
+    stack.deliver_to_socket(skb)
+    stack.flowcache_fastpath(skb)  # expect: FLOW402

@@ -1,0 +1,24 @@
+"""Clean twin of flowcache_bad: the cache-hit skip is a legal edge.
+
+A hit at the driver exit jumps straight from the GRO'd driver stage to
+the fast-path step and on to protocol delivery, skipping the whole slow
+device chain — the derived spec contains that edge, so no suppression is
+needed.
+"""
+
+
+class FastPathHit:
+    def hit(self, stack, skb):
+        stack.napi_gro_receive(skb)  # driver stage
+        stack.flowcache_fastpath(skb)  # cache hit: decap + jump
+        stack.l4_rcv(skb)  # container-tail protocol receive
+        stack.deliver_to_socket(skb)
+
+
+def miss_then_slow_path(stack, skb):
+    # A miss rides the unchanged slow chain; forward motion throughout.
+    stack.napi_gro_receive(skb)
+    stack.vxlan_rcv(skb)
+    stack.br_handle_frame(skb)
+    stack.l4_rcv(skb)
+    stack.deliver_to_socket(skb)

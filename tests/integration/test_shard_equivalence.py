@@ -17,7 +17,12 @@ import os
 
 import pytest
 
-from repro.overlay.cluster import run_cluster, tcp_ring_spec, udp_ring_spec
+from repro.overlay.cluster import (
+    run_cluster,
+    tcp_ring_spec,
+    udp_double_ring_spec,
+    udp_ring_spec,
+)
 from repro.validate.golden import diff_trace_docs, trace_doc_to_json
 
 #: Short but non-trivial horizon: ~hundreds of messages, several
@@ -129,6 +134,44 @@ def test_falcon_cluster_shards_match_reference():
     reference = _run(spec, shards=1)
     actual = _run(spec, shards=2)
     _assert_equivalent("falcon-shards2", reference, actual)
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+@pytest.mark.parametrize("shards", [2, 3])
+def test_flowcache_churn_shards_match_reference(scheduler, shards):
+    """The flow-cache datapath under churn: a capacity-1 ingress table
+    thrashes (miss → hit → evict), then mid-run churn on host 1 sends
+    RECORD_INVAL to its senders across a shard boundary. Cache state is
+    per-host, so partitioning must not move a single lookup."""
+    spec = udp_double_ring_spec(
+        num_hosts=3,
+        message_size=512,
+        rate_pps=40_000.0,
+        rate2_pps=12_000.0,
+        seed=9,
+        scheduler=scheduler,
+        flowcache=True,
+        flowcache_capacity=1,
+        churn=((1800.0, 1),),
+        warmup_us=WARMUP_US,
+        duration_us=DURATION_US,
+        trace=True,
+    )
+    reference = _run(spec, shards=1)
+    actual = _run(spec, shards=shards)
+    _assert_equivalent(
+        f"flowcache-{scheduler}-shards{shards}", reference, actual
+    )
+    # Per-host cache counters (hits/misses/evictions/invalidations) are
+    # part of the equivalence contract too.
+    assert [h["flowcache"] for h in actual.per_host] == [
+        h["flowcache"] for h in reference.per_host
+    ]
+    churned = reference.per_host[1]["flowcache"]
+    assert churned["ingress_invalidations"] >= 1
+    assert churned["ingress_hits"] > 0
+    assert churned["ingress_evictions"] > 0
+    assert actual.records_exchanged > 0
 
 
 def test_process_transport_matches_inline():

@@ -1,0 +1,122 @@
+"""Property-based tests for the per-flow fast-path cache.
+
+The safety property the invalidation protocol must uphold: whatever the
+interleaving of inserts, accesses, evictions and invalidations
+(per-flow, per-IP, or full flush), the table never grants the fast path
+to a *stale* entry — one invalidated (and not re-inserted) since, or
+one whose flow still has slow-path packets in flight. A stale grant is
+exactly the bug class container churn produces in the real system:
+packets delivered to a veth whose container is gone.
+
+The test mirrors every operation into a trivial model (a dict of live
+keys plus an inflight counter) and checks the table's verdicts and
+contents against it after each step; a second property pins LRU
+eviction order to the model's recency list, so determinism is checked
+against an independent implementation, not just against a rerun.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.flowcache import FlowTable
+
+#: Small universes force collisions: few flows over fewer slots, few
+#: distinct IPs so invalidate_ip sweeps multiple entries at once.
+IPS = st.integers(0, 3)
+KEYS = st.tuples(IPS, IPS, st.just(17), st.integers(0, 2), st.just(53))
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("access"), KEYS, st.integers(1, 3)),
+        st.tuples(st.just("slow_done"), KEYS, st.integers(1, 3)),
+        st.tuples(st.just("insert"), KEYS),
+        st.tuples(st.just("invalidate"), KEYS),
+        st.tuples(st.just("invalidate_ip"), IPS),
+        st.tuples(st.just("invalidate_all")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class ModelTable:
+    """An obviously-correct mirror: recency-ordered live set + ledger."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.live = OrderedDict()  # key -> None, LRU-oldest first
+        self.inflight = {}
+
+    def touch(self, key):
+        self.live[key] = None
+        self.live.move_to_end(key)
+        while len(self.live) > self.capacity:
+            self.live.popitem(last=False)
+
+    def would_hit(self, key):
+        return key in self.live and not self.inflight.get(key, 0)
+
+
+@given(st.integers(1, 4), OPS)
+@settings(max_examples=200, deadline=None)
+def test_no_interleaving_grants_a_stale_hit(capacity, ops):
+    table = FlowTable(capacity)
+    model = ModelTable(capacity)
+    for op in ops:
+        if op[0] == "access":
+            _, key, segs = op
+            expected = model.would_hit(key)
+            granted = table.access(key, segs)
+            # The verdict itself: a grant for an invalidated/evicted or
+            # gated flow would be a stale delivery.
+            assert granted == expected
+            if granted:
+                model.touch(key)
+            else:
+                model.inflight[key] = model.inflight.get(key, 0) + segs
+        elif op[0] == "slow_done":
+            _, key, segs = op
+            table.slow_done(key, segs)
+            left = model.inflight.pop(key, 0) - segs
+            if left > 0:
+                model.inflight[key] = left
+        elif op[0] == "insert":
+            table.insert(op[1])
+            model.touch(op[1])
+        elif op[0] == "invalidate":
+            table.invalidate(op[1])
+            model.live.pop(op[1], None)
+        elif op[0] == "invalidate_ip":
+            table.invalidate_ip(op[1])
+            for key in [k for k in model.live if op[1] in (k[0], k[1])]:
+                del model.live[key]
+        else:
+            table.invalidate_all()
+            model.live.clear()
+        # Contents (and LRU order) must track the model exactly — this
+        # is what makes eviction deterministic and invalidation total.
+        assert table.keys() == list(model.live)
+        assert len(table) <= capacity
+    # The gate's ledger must agree too: no phantom reservations left.
+    for key in set(model.inflight) | {k for k in model.live}:
+        assert table.slow_inflight(key) == model.inflight.get(key, 0)
+
+
+@given(st.integers(1, 3), st.lists(KEYS, min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_counter_identities_hold(capacity, keys):
+    """inserts - evictions - invalidations == live entries, and
+    hits + misses == accesses, for any access/insert sequence."""
+    table = FlowTable(capacity)
+    accesses = 0
+    for index, key in enumerate(keys):
+        if not table.access(key, 1):
+            table.slow_done(key, 1)
+            table.insert(key)
+        accesses += 1
+        if index % 5 == 4:
+            table.invalidate(key)
+    assert table.hits + table.misses == accesses
+    assert table.inserts - table.evictions - table.invalidations == len(table)

@@ -25,7 +25,8 @@ def test_specs_are_deterministic_and_unique():
     assert names == [spec.name for spec in all_specs()]
     assert len(names) == len(set(names))
     assert all(
-        spec.kind in ("engine", "scenario", "figure", "shard") for spec in specs
+        spec.kind in ("engine", "scenario", "figure", "shard", "flowcache")
+        for spec in specs
     )
 
 

@@ -162,6 +162,9 @@ class TestDerivedStageSpec:
         assert rank["vxlan"] < rank["container"] < rank[SOCKET] < rank[FREE]
         # Host mode delivers straight from its host stack.
         assert rank["hoststack"] < rank[SOCKET]
+        # The fast-path stage sits between the driver and the container
+        # tail; the cache-hit skip is forward motion, never a violation.
+        assert rank["pnic"] < rank["fastpath"] < rank["container"]
 
     def test_edges_come_from_live_transitions(self):
         spec = stage_order_spec()
@@ -171,6 +174,11 @@ class TestDerivedStageSpec:
         # SocketDeliver contributes the terminal edges.
         assert ("container", SOCKET) in spec.edges
         assert ("hoststack", SOCKET) in spec.edges
+        # The flow-cache fork: both sides of FastPathTransition appear.
+        assert ("pnic", "fastpath") in spec.edges
+        assert ("pnic_gro", "fastpath") in spec.edges
+        assert ("fastpath", "container") in spec.edges
+        assert ("pnic", "hoststack_outer") in spec.edges  # the miss edge
         # Synthetic envelope.
         assert (ALLOC, HARDIRQ) in spec.edges
         assert (SOCKET, FREE) in spec.edges
@@ -248,7 +256,7 @@ class TestCli:
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
-        assert payload["counts_by_rule"]["FLOW401"] == 2
+        assert payload["counts_by_rule"]["FLOW401"] == 3
 
     def test_unknown_rule_exits_two(self, capsys):
         code = main(["flow", str(FIXTURES), "--rule", "BOGUS99"])
