@@ -1,0 +1,196 @@
+"""The unified static-analysis pipeline behind ``repro check``.
+
+One entry point running every static gate the repo has — simlint,
+simflow, simorder, and the mypy strict gate — in a single pass over one
+file discovery, so "is this change statically clean?" is one command
+instead of four. Each gate becomes a :class:`CheckStep`; the report
+fails if any non-skipped step fails.
+
+Baselines: when invoked from the repository root, each analyzer is also
+held to its committed suppressed-findings ratchet
+(``tools/{lint,flow,order}_baseline.txt``) exactly as CI does — drift in
+either direction fails the step. From any other working directory the
+ratchets are skipped (baseline paths are cwd-relative by design).
+
+mypy is an optional tool dependency; when it is not installed the mypy
+step reports ``skipped`` and does not fail the pipeline unless
+``require_mypy`` is set (CI mode).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+@dataclass(frozen=True)
+class CheckStep:
+    """Outcome of one gate in the pipeline."""
+
+    name: str
+    ok: bool
+    skipped: bool = False
+    summary: str = ""
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``repro check`` run."""
+
+    steps: List[CheckStep] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(step.ok for step in self.steps)
+
+    def to_text(self) -> str:
+        lines = []
+        for step in self.steps:
+            status = (
+                "SKIP" if step.skipped else "ok" if step.ok else "FAILED"
+            )
+            lines.append(f"{step.name:<6} {status:<7} {step.summary}")
+        lines.append("check OK" if self.ok else "check FAILED")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "ok": self.ok,
+            "steps": [
+                {
+                    "name": step.name,
+                    "ok": step.ok,
+                    "skipped": step.skipped,
+                    "summary": step.summary,
+                }
+                for step in self.steps
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _baseline_errors(result, name: str, paths: Sequence[str]) -> List[str]:
+    """Ratchet drift for one analyzer, when the run can be compared.
+
+    Baseline entries are repo-root-relative paths of the ``src`` tree;
+    comparing them only makes sense when that is the working directory
+    and the run actually covers ``src`` (a fixture run would read as
+    phantom drift).
+    """
+    if Path.cwd().resolve() != _REPO_ROOT:
+        return []
+    if len(paths) != 1 or Path(paths[0]).resolve() != _REPO_ROOT / "src":
+        return []
+    baseline_path = _REPO_ROOT / "tools" / f"{name}_baseline.txt"
+    if not baseline_path.exists():
+        return []
+    from repro.analysis.baseline import check_baseline, load_baseline_file
+
+    frozen = load_baseline_file(str(baseline_path))
+    return check_baseline(result, frozen)
+
+
+def _analyzer_step(name: str, result, paths: Sequence[str]) -> CheckStep:
+    drift = _baseline_errors(result, name, paths)
+    parts = [
+        f"{len(result.findings)} finding(s) in {result.files_checked} files"
+    ]
+    if result.suppressed:
+        parts.append(f"{len(result.suppressed)} suppressed")
+    parts.extend(f"baseline: {error}" for error in drift)
+    return CheckStep(
+        name=name,
+        ok=result.ok and not drift,
+        summary="; ".join(parts),
+    )
+
+
+def _mypy_step(require_mypy: bool) -> CheckStep:
+    script = _REPO_ROOT / "tools" / "typecheck.py"
+    if importlib.util.find_spec("mypy") is None:
+        if require_mypy:
+            return CheckStep(
+                name="mypy",
+                ok=False,
+                summary="mypy required but not installed",
+            )
+        return CheckStep(
+            name="mypy",
+            ok=True,
+            skipped=True,
+            summary="mypy not installed; strict gate skipped",
+        )
+    command = [sys.executable, str(script)]
+    if require_mypy:
+        command.append("--require")
+    proc = subprocess.run(
+        command, cwd=_REPO_ROOT, capture_output=True, text=True
+    )
+    tail = (proc.stdout or proc.stderr).strip().splitlines()
+    return CheckStep(
+        name="mypy",
+        ok=proc.returncode == 0,
+        summary=tail[-1] if tail else f"exit {proc.returncode}",
+    )
+
+
+def run_check(
+    paths: Sequence[str] = ("src",),
+    require_mypy: bool = False,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> CheckReport:
+    """Run lint + flow + order + mypy over ``paths`` in one pass.
+
+    ``rule_ids`` restricts each analyzer to the ids it owns (unknown ids
+    raise ``ValueError`` only if no analyzer claims them).
+    """
+    from repro.analysis.flow.runner import flow_paths, flow_rule_by_id
+    from repro.analysis.lint.runner import lint_paths, rule_by_id
+    from repro.analysis.order.runner import order_paths, order_rule_by_id
+
+    def owned(selector, ids):
+        if ids is None:
+            return None
+        return [rule_id for rule_id in ids if selector(rule_id) is not None]
+
+    if rule_ids is not None:
+        claimed = set(
+            owned(rule_by_id, rule_ids)
+            + owned(flow_rule_by_id, rule_ids)
+            + owned(order_rule_by_id, rule_ids)
+        )
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in claimed]
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+
+    report = CheckReport()
+    report.steps.append(
+        _analyzer_step(
+            "lint",
+            lint_paths(paths, rule_ids=owned(rule_by_id, rule_ids)),
+            paths,
+        )
+    )
+    report.steps.append(
+        _analyzer_step(
+            "flow",
+            flow_paths(paths, rule_ids=owned(flow_rule_by_id, rule_ids)),
+            paths,
+        )
+    )
+    report.steps.append(
+        _analyzer_step(
+            "order",
+            order_paths(paths, rule_ids=owned(order_rule_by_id, rule_ids)),
+            paths,
+        )
+    )
+    report.steps.append(_mypy_step(require_mypy))
+    return report

@@ -27,7 +27,11 @@ This is a whole-project pass:
    known function of that name, across modules) is walked from the
    entry points; this is what makes the pass cross-module — e.g.
    ``EnqueueTransition.route`` (stages.py) reaching
-   ``enqueue_backlog`` (softirq.py).
+   ``enqueue_backlog`` (softirq.py). Dispatch calls (``post`` /
+   ``post_at`` / ``post_batch`` / ``push_many`` / ``schedule`` /
+   ``submit`` ...) contribute their *arguments* as edges too, so a
+   callback handed to the scheduler in a batch is traced into per-CPU
+   structures just like a direct call.
 4. **Check**: a reachable function that (a) juggles more than one CPU
    identity (two or more cpu/core-named parameters), (b) subscripts a
    per-CPU structure by one of them, and (c) never calls a
@@ -84,6 +88,20 @@ ENTRY_FUNCTION_NAMES: Set[str] = {
 #: Class-name fragments whose methods are entry points wholesale.
 ENTRY_CLASS_FRAGMENTS: Tuple[str, ...] = ("Stage", "Transition", "Napi")
 
+#: Calls that dispatch their callable arguments onto the event stream.
+#: The call graph follows those arguments — ``sim.post_batch(t, fn, items)``
+#: reaches ``fn`` exactly like ``fn(items)`` would.
+DISPATCH_CALLS: Set[str] = {
+    "post",
+    "post_at",
+    "post_batch",
+    "push_many",
+    "schedule",
+    "schedule_at",
+    "submit",
+    "submit_multi",
+}
+
 
 @dataclass
 class _Func:
@@ -109,10 +127,23 @@ class _Func:
     def called_names(self) -> Set[str]:
         names: Set[str] = set()
         for sub in ast.walk(self.node):
-            if isinstance(sub, ast.Call):
-                name = last_segment(sub.func)
-                if name is not None:
-                    names.add(name)
+            if not isinstance(sub, ast.Call):
+                continue
+            name = last_segment(sub.func)
+            if name is None:
+                continue
+            names.add(name)
+            if name in DISPATCH_CALLS:
+                # Batch-posted callbacks are edges too: the scheduler
+                # will call them, so the reachability walk must.
+                for arg in sub.args:
+                    arg_name = last_segment(arg)
+                    if arg_name is not None:
+                        names.add(arg_name)
+                for keyword in sub.keywords:
+                    arg_name = last_segment(keyword.value)
+                    if arg_name is not None:
+                        names.add(arg_name)
         return names
 
     def is_entry(self) -> bool:

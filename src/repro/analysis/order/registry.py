@@ -1,0 +1,25 @@
+"""Static registry of simorder rule ids.
+
+Kept free of imports so :mod:`repro.analysis.lint.runner` can learn the
+order rule ids (for pragma validation — all three passes share the
+``# simlint: disable=`` suppression machinery) without importing the
+dataflow engine, and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Partition-invariance taint rules (rules_partition.py).
+PARTITION_RULE_IDS: Tuple[str, ...] = ("ORD501", "ORD502", "ORD503")
+
+#: Cross-shard causality rules (rules_causality.py).
+CAUSALITY_RULE_IDS: Tuple[str, ...] = ("ORD511", "ORD512", "ORD513")
+
+#: Flowcache ordering-typestate rules (rules_flowcache.py).
+FLOWCACHE_RULE_IDS: Tuple[str, ...] = ("ORD521", "ORD522", "ORD523")
+
+#: Every rule id the ``repro order`` pass can report.
+ORDER_RULE_IDS: Tuple[str, ...] = (
+    PARTITION_RULE_IDS + CAUSALITY_RULE_IDS + FLOWCACHE_RULE_IDS
+)

@@ -196,6 +196,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_baseline_args(flow)
 
+    order = sub.add_parser(
+        "order",
+        help="run the simorder pass (partition-invariance taint, "
+        "cross-shard causality, flowcache ordering typestate)",
+    )
+    order.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    order.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    order.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable, e.g. --rule ORD511)",
+    )
+    order.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    order.add_argument(
+        "--trace",
+        nargs="*",
+        default=None,
+        metavar="GOLDEN_JSON",
+        help="cross-check per-flow delivery order and fastpath edges "
+        "against golden traces (default: every trace in tests/goldens); "
+        "skips the static rules",
+    )
+    _add_baseline_args(order)
+
+    check = sub.add_parser(
+        "check",
+        help="run every static gate in one pass: lint + flow + order "
+        "(each against its committed baseline) + the mypy strict gate",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    check.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    check.add_argument(
+        "--require-mypy",
+        action="store_true",
+        help="fail (instead of skipping) when mypy is not installed "
+        "(CI mode)",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="run the performance benchmark suite and emit BENCH_<ts>.json",
@@ -415,6 +471,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         if baseline_rc is not None:
             return baseline_rc
         return 0 if result.ok else 1
+
+    if args.command == "order":
+        from repro.analysis.lint import render_json, render_text
+        from repro.analysis.order import (
+            ORDER_RULES,
+            order_cross_check,
+            order_paths,
+        )
+
+        if args.list_rules:
+            for rule in ORDER_RULES:
+                scope = (
+                    ", ".join(rule.scope) if rule.scope else "all analyzed files"
+                )
+                print(f"{rule.id}  {rule.title}")
+                print(f"    scope: {scope}")
+                print(f"    {rule.rationale}")
+            return 0
+        if args.trace is not None:
+            check = order_cross_check(args.trace)
+            print(check.to_json() if args.fmt == "json" else check.to_text())
+            return 0 if check.ok else 1
+        try:
+            result = order_paths(args.paths, rule_ids=args.rule)
+        except ValueError as exc:
+            print(f"repro order: {exc}", file=sys.stderr)
+            return 2
+        print(render_json(result) if args.fmt == "json" else render_text(result))
+        baseline_rc = _apply_baseline(args, result, "order")
+        if baseline_rc is not None:
+            return baseline_rc
+        return 0 if result.ok else 1
+
+    if args.command == "check":
+        from repro.analysis.check import run_check
+
+        report = run_check(args.paths, require_mypy=args.require_mypy)
+        print(report.to_json() if args.fmt == "json" else report.to_text())
+        return 0 if report.ok else 1
 
     if args.command == "bench":
         import json as _json

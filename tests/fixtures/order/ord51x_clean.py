@@ -1,0 +1,47 @@
+"""Causality-bounded counterparts of the ORD51x violations.
+
+The bound can be proven three ways: a `now + <propagation/lookahead>`
+sum, an arrival returned by `Link.reserve` (which charges serialization
+and propagation), or a variable that holds one of those on *every* path
+(must-analysis — a one-branch bound would not count).
+"""
+
+
+class BoundedOutbox:
+    def __init__(self, sim, outbox, link, propagation_us):
+        self.sim = sim
+        self.outbox = outbox
+        self.link = link
+        self.propagation_us = propagation_us
+
+    def publish_credit(self, src, flow_index):
+        self.outbox.emit(
+            self.sim.now + self.propagation_us, "credit", src, (flow_index,)
+        )
+
+    def transmit(self, skb, dst):
+        arrival = self.link.reserve(skb.wire_size)
+        self.outbox.emit(arrival, "skb", dst, skb.payload)
+
+    def publish_either_way(self, express, src):
+        if express:
+            when = self.link.reserve(64)
+        else:
+            when = self.sim.now + self.propagation_us
+        self.outbox.emit(when, "credit", src, ())
+
+
+class SanctionedOutbox:
+    def __init__(self, src):
+        self.src = src
+        self._seq = 0
+
+    def emit(self, time, kind, dst, payload):
+        self._seq += 1
+        return CrossShardEvent(time, self.src, self._seq, kind, dst, payload)
+
+
+class OwnHandle:
+    def advance(self, until):
+        # A handle may drive its *own* program — that is its job.
+        self._program.run_until(until)

@@ -1,0 +1,34 @@
+"""ORD521-523: flowcache ordering-gate bypasses.
+
+An eager table populates (and serves) at lookup time, so a cached packet
+can overtake an older packet of the same flow still riding the slow
+path; and a teardown path that never invalidates leaves the fast path
+steering frames at a container that no longer exists.
+"""
+
+
+class EagerFlowTable:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, key, segs):
+        if key in self._entries:
+            self.hits += 1  # expect: ORD522
+            return True
+        self.misses += 1
+        self.insert(key)  # expect: ORD521
+        return False
+
+    def insert(self, key):
+        self._entries[key] = 1
+
+
+class EagerHost:
+    def remove_container(self, ip):  # expect: ORD523
+        self.release_ip(ip)
+
+    def release_ip(self, ip):
+        self.freed.append(ip)

@@ -1,0 +1,47 @@
+"""Ledger-gated counterparts of the ORD52x bypasses.
+
+Mirrors the real `FlowTable` discipline: a receive-side miss reserves
+the flow's segments as slow in-flight, only the delivery confirmation
+repopulates the table, and every teardown path reaches an invalidate.
+"""
+
+
+class GatedFlowTable:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = {}
+        self._slow_inflight = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, key, segs):
+        if key in self._entries and not self._slow_inflight.get(key):
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._slow_inflight[key] = self._slow_inflight.get(key, 0) + segs
+        return False
+
+    def delivered(self, key, segs):
+        left = self._slow_inflight.get(key, 0) - segs
+        if left > 0:
+            self._slow_inflight[key] = left
+            return
+        self._slow_inflight.pop(key, None)
+        self.insert(key)
+
+    def insert(self, key):
+        self._entries[key] = 1
+
+
+class GatedCache:
+    def __init__(self, table):
+        self.ingress = table
+
+    def invalidate_ip(self, ip):
+        self.ingress._entries.clear()
+
+
+class GatedHost:
+    def migrate_container(self, ip):
+        self.cache.invalidate_ip(ip)

@@ -17,11 +17,13 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.flow import flow_paths
 from repro.analysis.lint import lint_paths
+from repro.analysis.order import order_paths
 from repro.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 LINT_BASELINE = REPO_ROOT / "tools" / "lint_baseline.txt"
 FLOW_BASELINE = REPO_ROOT / "tools" / "flow_baseline.txt"
+ORDER_BASELINE = REPO_ROOT / "tools" / "order_baseline.txt"
 
 
 def suppressed_result(tmp_path):
@@ -111,6 +113,19 @@ class TestCheckedInBaselinesMatchReality:
         # simflow's must-analysis budget: no in-tree suppressions at all.
         assert load_baseline_file(str(FLOW_BASELINE)) == {}
 
+    def test_order_baseline_is_current(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        result = order_paths([str(REPO_ROOT / "src")])
+        frozen = load_baseline_file(str(ORDER_BASELINE))
+        errors = check_baseline(result, frozen)
+        assert errors == [], "\n".join(errors)
+
+    def test_order_baseline_is_empty(self):
+        # simorder's acceptance bar: the shard engine and flowcache
+        # satisfy every ORD rule with no pragmas at all — the exemptions
+        # live in the rules' scope/exempt declarations, with reasons.
+        assert load_baseline_file(str(ORDER_BASELINE)) == {}
+
 
 class TestCli:
     def test_lint_with_baseline_passes(self, capsys, monkeypatch):
@@ -126,6 +141,14 @@ class TestCli:
         code = main([
             "flow", str(REPO_ROOT / "src"),
             "--baseline", str(FLOW_BASELINE),
+        ])
+        assert code == 0
+
+    def test_order_with_baseline_passes(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main([
+            "order", str(REPO_ROOT / "src"),
+            "--baseline", str(ORDER_BASELINE),
         ])
         assert code == 0
 

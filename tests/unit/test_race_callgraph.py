@@ -129,6 +129,66 @@ class TestTransitionIndirection:
         assert race == [], render_text(result)
 
 
+class TestDispatchArguments:
+    """Batch-dispatched callbacks are call-graph edges: the reachability
+    walk follows the *arguments* of post/post_at/post_batch/push_many
+    etc., so a handler handed to the scheduler is traced into per-CPU
+    structures exactly like a direct call."""
+
+    def test_post_batch_callback_is_reached(self, tmp_path):
+        path = write(
+            tmp_path,
+            "batched.py",
+            PERCPU_OWNER
+            + "\n"
+            "class Router:\n"
+            "    def route(self, skb, cpu, sim, mesh):\n"
+            "        sim.post_batch(0.0, self._drain, skb, cpu, mesh)\n"
+            "\n"
+            "    def _drain(self, skb, src_cpu, dst_cpu, mesh):\n"
+            "        mesh.data[dst_cpu].append(skb)\n",
+        )
+        _, race = race_findings([path])
+        assert len(race) == 1
+        assert "_drain" in race[0].message
+
+    def test_push_many_callback_is_reached(self, tmp_path):
+        path = write(
+            tmp_path,
+            "pushed.py",
+            PERCPU_OWNER
+            + "\n"
+            "class Router:\n"
+            "    def route(self, skb, cpu, queue, mesh):\n"
+            "        queue.push_many(self._spill, skb, cpu, mesh)\n"
+            "\n"
+            "    def _spill(self, skb, src_cpu, dst_cpu, mesh):\n"
+            "        mesh.data[dst_cpu].append(skb)\n",
+        )
+        _, race = race_findings([path])
+        assert len(race) == 1
+        assert "_spill" in race[0].message
+
+    def test_non_dispatch_call_args_stay_unfollowed(self, tmp_path):
+        # Passing a bound method to an arbitrary (non-dispatch) call is
+        # still a blind spot — only scheduler-shaped calls promote their
+        # arguments to edges, which is what keeps the graph precise.
+        path = write(
+            tmp_path,
+            "registry.py",
+            PERCPU_OWNER
+            + "\n"
+            "class Router:\n"
+            "    def route(self, skb, cpu, registry, mesh):\n"
+            "        registry.register(self._spill)\n"
+            "\n"
+            "    def _spill(self, skb, src_cpu, dst_cpu, mesh):\n"
+            "        mesh.data[dst_cpu].append(skb)\n",
+        )
+        _, race = race_findings([path])
+        assert race == []
+
+
 class TestKnownBlindSpots:
     """Documented limits of the name-level call graph. If one of these
     xfails starts passing, the detector got sharper — update the
