@@ -1,16 +1,17 @@
 """The unified static-analysis pipeline behind ``repro check``.
 
 One entry point running every static gate the repo has — simlint,
-simflow, simorder, and the mypy strict gate — in a single pass over one
-file discovery, so "is this change statically clean?" is one command
-instead of four. Each gate becomes a :class:`CheckStep`; the report
-fails if any non-skipped step fails.
+simflow, simorder, simsan, and the mypy strict gate — in a single pass
+over one file discovery, so "is this change statically clean?" is one
+command instead of five. Each gate becomes a :class:`CheckStep`; the
+report fails if any non-skipped step fails.
 
 Baselines: when invoked from the repository root, each analyzer is also
 held to its committed suppressed-findings ratchet
-(``tools/{lint,flow,order}_baseline.txt``) exactly as CI does — drift in
-either direction fails the step. From any other working directory the
-ratchets are skipped (baseline paths are cwd-relative by design).
+(``tools/{lint,flow,order,san}_baseline.txt``) exactly as CI does —
+drift in either direction fails the step. From any other working
+directory the ratchets are skipped (baseline paths are cwd-relative by
+design).
 
 mypy is an optional tool dependency; when it is not installed the mypy
 step reports ``skipped`` and does not fail the pipeline unless
@@ -146,7 +147,7 @@ def run_check(
     require_mypy: bool = False,
     rule_ids: Optional[Sequence[str]] = None,
 ) -> CheckReport:
-    """Run lint + flow + order + mypy over ``paths`` in one pass.
+    """Run lint + flow + order + san + mypy over ``paths`` in one pass.
 
     ``rule_ids`` restricts each analyzer to the ids it owns (unknown ids
     raise ``ValueError`` only if no analyzer claims them).
@@ -154,6 +155,7 @@ def run_check(
     from repro.analysis.flow.runner import flow_paths, flow_rule_by_id
     from repro.analysis.lint.runner import lint_paths, rule_by_id
     from repro.analysis.order.runner import order_paths, order_rule_by_id
+    from repro.analysis.san.runner import san_paths, san_rule_by_id
 
     def owned(selector, ids):
         if ids is None:
@@ -165,6 +167,7 @@ def run_check(
             owned(rule_by_id, rule_ids)
             + owned(flow_rule_by_id, rule_ids)
             + owned(order_rule_by_id, rule_ids)
+            + owned(san_rule_by_id, rule_ids)
         )
         unknown = [rule_id for rule_id in rule_ids if rule_id not in claimed]
         if unknown:
@@ -189,6 +192,13 @@ def run_check(
         _analyzer_step(
             "order",
             order_paths(paths, rule_ids=owned(order_rule_by_id, rule_ids)),
+            paths,
+        )
+    )
+    report.steps.append(
+        _analyzer_step(
+            "san",
+            san_paths(paths, rule_ids=owned(san_rule_by_id, rule_ids)),
             paths,
         )
     )

@@ -16,6 +16,7 @@ from repro.analysis.lint.core import (
 from repro.analysis.flow.registry import FLOW_RULE_IDS
 from repro.analysis.lint.report import LintResult
 from repro.analysis.order.registry import ORDER_RULE_IDS
+from repro.analysis.san.registry import SAN_RULE_IDS
 from repro.analysis.lint.rules_des import DES_RULES
 from repro.analysis.lint.rules_determinism import DETERMINISM_RULES
 from repro.analysis.lint.rules_race import RACE_RULES
@@ -25,13 +26,14 @@ ALL_RULES: Tuple[Rule, ...] = DETERMINISM_RULES + DES_RULES + RACE_RULES
 
 
 def known_rule_ids() -> List[str]:
-    """Every rule id any pass can report — lint, flow and order share
-    the ``# simlint:`` pragma namespace, so a pragma naming another
-    pass's rule is legal in any run."""
+    """Every rule id any pass can report — lint, flow, order and san
+    share the ``# simlint:`` pragma namespace, so a pragma naming
+    another pass's rule is legal in any run."""
     return (
         [rule.id for rule in ALL_RULES]
         + list(FLOW_RULE_IDS)
         + list(ORDER_RULE_IDS)
+        + list(SAN_RULE_IDS)
     )
 
 #: Directory names never descended into.

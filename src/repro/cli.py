@@ -231,9 +231,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_baseline_args(order)
 
+    san = sub.add_parser(
+        "san",
+        help="run the simsan ownership pass (event freelist linearity, "
+        "skb ownership transfer, flow-cache entry lifecycle)",
+    )
+    san.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    san.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    san.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable, e.g. --rule OWN601)",
+    )
+    san.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    san.add_argument(
+        "--trace",
+        action="store_true",
+        help="run a sanitized dynamic probe and cross-check its site tags "
+        "against the static instrumentation catalog; skips the static rules",
+    )
+    _add_baseline_args(san)
+
     check = sub.add_parser(
         "check",
-        help="run every static gate in one pass: lint + flow + order "
+        help="run every static gate in one pass: lint + flow + order + san "
         "(each against its committed baseline) + the mypy strict gate",
     )
     check.add_argument(
@@ -500,6 +532,52 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(render_json(result) if args.fmt == "json" else render_text(result))
         baseline_rc = _apply_baseline(args, result, "order")
+        if baseline_rc is not None:
+            return baseline_rc
+        return 0 if result.ok else 1
+
+    if args.command == "san":
+        from repro.analysis.lint import render_json, render_text
+        from repro.analysis.san import SAN_RULES, san_cross_check, san_paths
+
+        if args.list_rules:
+            for rule in SAN_RULES:
+                scope = (
+                    ", ".join(rule.scope) if rule.scope else "all analyzed files"
+                )
+                print(f"{rule.id}  {rule.title}")
+                print(f"    scope: {scope}")
+                print(f"    {rule.rationale}")
+            return 0
+        if args.trace:
+            check = san_cross_check(paths=args.paths)
+            if args.fmt == "json":
+                import json as _json
+
+                print(
+                    _json.dumps(
+                        {
+                            "ok": check.ok,
+                            "static_sites": check.static_sites,
+                            "dynamic_sites": check.dynamic_sites,
+                            "unknown": check.unknown,
+                            "unexercised": check.unexercised,
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+            else:
+                for line in check.render():
+                    print(line)
+            return 0 if check.ok else 1
+        try:
+            result = san_paths(args.paths, rule_ids=args.rule)
+        except ValueError as exc:
+            print(f"repro san: {exc}", file=sys.stderr)
+            return 2
+        print(render_json(result) if args.fmt == "json" else render_text(result))
+        baseline_rc = _apply_baseline(args, result, "san")
         if baseline_rc is not None:
             return baseline_rc
         return 0 if result.ok else 1

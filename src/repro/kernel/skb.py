@@ -23,7 +23,7 @@ message; ``segs`` counts how many wire packets a merged skb represents.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.kernel.hashing import flow_hash
 
@@ -72,7 +72,7 @@ class FlowKey:
     ) -> "FlowKey":
         return cls(src_ip, dst_ip, proto, sport, dport)
 
-    def tuple(self) -> tuple:
+    def tuple(self) -> Tuple[int, int, int, int, int]:
         return (self.src_ip, self.dst_ip, self.proto, self.sport, self.dport)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -98,6 +98,17 @@ class Simulator:
         self._halted: bool = False
         self._freelist: List[Event] = []
         self.events_processed: int = 0
+        #: Ownership ledger hook (REPRO_SANITIZE=1). None in normal runs:
+        #: every instrumented site pays one ``is None`` check and nothing
+        #: else, and the ledger itself never schedules or reads the
+        #: clock, so sanitized traces stay byte-identical.
+        self._san: Optional[Any] = None
+        if os.environ.get("REPRO_SANITIZE"):
+            from repro.validate.sanitize import current_ledger
+
+            self._san = current_ledger()
+            if self._san is not None and hasattr(type(self._scheduler), "_san"):
+                self._scheduler._san = self._san
         #: Optional :class:`repro.validate.InvariantMonitor` hook. When
         #: None (the default) the event loop pays one attribute check per
         #: event and nothing else.
@@ -125,6 +136,8 @@ class Simulator:
             )
         event = Event(time, self._seq, fn, args)
         self._seq += 1
+        if self._san is not None:
+            self._san.acquire("event", id(event), "engine.schedule", event)
         self._scheduler.push(event)
         return event
 
@@ -189,6 +202,8 @@ class Simulator:
             event = Event(time, self._seq, fn, args)
             event.reusable = True
         self._seq += 1
+        if self._san is not None:
+            self._san.acquire("event", id(event), "engine.post", event)
         return event
 
     def _recycle(self, event: Event) -> None:
@@ -231,10 +246,17 @@ class Simulator:
             if self.monitor is not None:
                 self.monitor.on_event(self.now, event.time)
             self.now = event.time
-            event.fn(*event.args)
-            processed += 1
-            if event.reusable:
-                self._recycle(event)
+            try:
+                event.fn(*event.args)
+            finally:
+                # A raising callback must not leak the event: recycle on
+                # every exit so the pool keeps its object (and the
+                # sanitizer sees exactly one release per fire).
+                processed += 1
+                if self._san is not None:
+                    self._san.release("event", id(event), "engine.fired")
+                if event.reusable:
+                    self._recycle(event)
             if self._halted:
                 break
         self.events_processed += processed
@@ -251,11 +273,17 @@ class Simulator:
         if self.monitor is not None:
             self.monitor.on_event(self.now, event.time)
         self.now = event.time
-        event.fn(*event.args)
-        self.events_processed += 1
-        _global_events += 1
-        if event.reusable:
-            self._recycle(event)
+        try:
+            event.fn(*event.args)
+        finally:
+            # Mirror run(): no leak (and exactly one release) on a
+            # raising callback.
+            self.events_processed += 1
+            _global_events += 1
+            if self._san is not None:
+                self._san.release("event", id(event), "engine.fired")
+            if event.reusable:
+                self._recycle(event)
         return True
 
     def halt(self) -> None:

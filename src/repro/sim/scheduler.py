@@ -50,6 +50,17 @@ COMPACT_MIN_EVENTS = 256
 COMPACT_LIVE_FRACTION = 0.5
 
 
+def _san_discard(san, event: Event, site: str) -> None:
+    """Tell the ownership ledger a cancelled entry was lazily discarded.
+
+    The discard paths are release points in the event lifecycle — the
+    queue drops its (last) reference here. ``san`` is None unless the
+    simulator that owns this scheduler runs under REPRO_SANITIZE=1.
+    """
+    if san is not None:
+        san.release("event", id(event), site)
+
+
 class Scheduler(Protocol):
     """The priority-queue contract the event loop programs against.
 
@@ -88,11 +99,12 @@ class Scheduler(Protocol):
 class HeapScheduler:
     """Binary-heap scheduler — the original ``Simulator`` queue."""
 
-    __slots__ = ("_heap", "_cancelled")
+    __slots__ = ("_heap", "_cancelled", "_san")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._cancelled = 0
+        self._san = None
 
     # -- insertion -----------------------------------------------------
     def push(self, event: Event) -> None:
@@ -120,6 +132,7 @@ class HeapScheduler:
             if event.cancelled:
                 event.queued = False
                 self._cancelled -= 1
+                _san_discard(self._san, event, "heap.discard")
                 continue
             event.queued = False
             return event
@@ -133,6 +146,7 @@ class HeapScheduler:
                 heappop(heap)
                 event.queued = False
                 self._cancelled -= 1
+                _san_discard(self._san, event, "heap.discard")
                 continue
             return event
         return None
@@ -150,6 +164,7 @@ class HeapScheduler:
         for event in self._heap:
             if event.cancelled:
                 event.queued = False
+                _san_discard(self._san, event, "heap.compact")
         self._heap = [event for event in self._heap if not event.cancelled]
         heapify(self._heap)
         self._cancelled = 0
@@ -190,6 +205,7 @@ class CalendarScheduler:
         "_cancelled",
         "_peeked",
         "_peeked_bucket",
+        "_san",
     )
 
     def __init__(self, bucket_width_us: float = 1.0, num_buckets: int = 512) -> None:
@@ -209,6 +225,7 @@ class CalendarScheduler:
         self._cancelled = 0
         self._peeked: Optional[Event] = None
         self._peeked_bucket = 0
+        self._san = None
 
     # -- insertion -----------------------------------------------------
     def _bucket_index(self, time: float) -> int:
@@ -285,6 +302,7 @@ class CalendarScheduler:
                         dead.queued = False
                         self._wheel_count -= 1
                         self._cancelled -= 1
+                        _san_discard(self._san, dead, "calendar.discard")
                     if bucket:
                         self._cursor = index
                         if remove:
@@ -306,6 +324,7 @@ class CalendarScheduler:
             dead = heappop(overflow)
             dead.queued = False
             self._cancelled -= 1
+            _san_discard(self._san, dead, "calendar.refill")
         if not overflow:
             return
         width = self._width
@@ -319,6 +338,7 @@ class CalendarScheduler:
             if event.cancelled:
                 event.queued = False
                 self._cancelled -= 1
+                _san_discard(self._san, event, "calendar.refill")
                 continue
             heappush(buckets[self._bucket_index(event.time)], event)
             count += 1
@@ -341,6 +361,7 @@ class CalendarScheduler:
             for event in bucket:
                 if event.cancelled:
                     event.queued = False
+                    _san_discard(self._san, event, "calendar.compact")
                 else:
                     live.append(event)
             del bucket[:]
@@ -348,6 +369,7 @@ class CalendarScheduler:
         for event in self._overflow:
             if event.cancelled:
                 event.queued = False
+                _san_discard(self._san, event, "calendar.compact")
             else:
                 overflow_live.append(event)
         # Overflow entries still satisfy time >= base + horizon, so the

@@ -13,6 +13,7 @@ class GatedFlowTable:
         self._slow_inflight = {}
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def access(self, key, segs):
         if key in self._entries and not self._slow_inflight.get(key):
@@ -33,13 +34,17 @@ class GatedFlowTable:
     def insert(self, key):
         self._entries[key] = 1
 
+    def invalidate_host(self, ip):
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
 
 class GatedCache:
     def __init__(self, table):
         self.ingress = table
 
     def invalidate_ip(self, ip):
-        self.ingress._entries.clear()
+        self.ingress.invalidate_host(ip)
 
 
 class GatedHost:

@@ -1,0 +1,47 @@
+"""OWN601-603: event freelist lifecycle violations.
+
+Every shape here corrupts the engine's pooled-event discipline: a
+double release hands one object to two callers, a use-after-release
+races the pool's rebind, and a leak on any path silently shrinks the
+freelist every time that path is hit.
+"""
+
+
+class DoubleFreePoster:
+    def reap_twice(self):
+        ev = self._freelist.pop()
+        self._recycle(ev)
+        self._recycle(ev)  # expect: OWN601
+
+    def recycle_and_return_to_pool(self):
+        ev = self._freelist.pop()
+        self._recycle(ev)
+        self._freelist.append(ev)  # expect: OWN601
+
+
+class UseAfterFreePoster:
+    def requeue_cancelled(self, scheduler):
+        ev = self._freelist.pop()
+        self._recycle(ev)
+        scheduler.push(ev)  # expect: OWN602
+
+    def patch_after_free(self, now):
+        ev = Event()
+        self._recycle(ev)
+        ev.time = now  # expect: OWN602
+
+
+class LeakyPoster:
+    def post_if_armed(self, armed, time_us, fn):
+        ev = self._freelist.pop()  # expect: OWN603
+        if armed:
+            self._scheduler.push(ev)
+
+    def rebind_over_live(self):
+        ev = Event()  # expect: OWN603
+        ev = Event()
+        self._scheduler.push(ev)
+
+    def mint_and_drop(self, time_us, fn):
+        ev = _acquire(time_us, fn)  # expect: OWN603
+        self._pending += 1

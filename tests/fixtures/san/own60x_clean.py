@@ -1,0 +1,34 @@
+"""Linear counterparts of the OWN60x shapes.
+
+Mirrors the real engine discipline: acquire from the freelist (or mint
+a fresh object), then move ownership exactly once — to the scheduler,
+back to the pool, to the caller via return, or into a helper.
+"""
+
+
+class PooledEngine:
+    def acquire_for_caller(self, time_us, fn):
+        if self._freelist:
+            ev = self._freelist.pop()
+        else:
+            ev = Event()
+        return ev
+
+    def post_event(self, time_us, fn, args):
+        ev = _acquire(time_us, fn, args)
+        self._scheduler.push(ev)
+
+    def reap_or_requeue(self):
+        ev = self._freelist.pop()
+        if ev.cancelled:
+            self._recycle(ev)
+        else:
+            self._scheduler.push(ev)
+
+    def drain_one(self):
+        ev = self._freelist.pop()
+        self._recycle(ev)
+
+    def hand_to_helper(self, time_us, fn):
+        ev = Event()
+        self._dispatch(ev)

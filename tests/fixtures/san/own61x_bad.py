@@ -1,0 +1,45 @@
+"""OWN611-613: skb ownership-transfer violations.
+
+The wire is a copy boundary: encoding relinquishes the local skb, a
+holding structure owns what is stored into it, and decode/from_wire
+must construct fresh. Each shape here leaves a packet with two owners
+(or a shard sharing mutable state with another).
+"""
+
+
+class DoubleEncoder:
+    def ship_twice(self, skb):
+        first = encode_skb(skb)
+        second = encode_skb(skb)  # expect: OWN611
+        return (first, second)
+
+    def ship_then_deliver(self, skb):
+        self.records.append(encode_skb(skb))
+        self.deliver_local(skb)  # expect: OWN611
+
+    def ship_then_forward(self, skb):
+        self.records.append(encode_skb(skb))
+        return skb  # expect: OWN611
+
+    def ship_then_stash(self, skb):
+        self.records.append(encode_skb(skb))
+        self.last_skb = skb  # expect: OWN611
+
+
+class RetainingStage:
+    def stash_list_and_forward(self, skb):
+        self.backlog.append(skb)
+        return skb  # expect: OWN612
+
+    def stash_attr_and_forward(self, skb):
+        self.current = skb
+        return skb  # expect: OWN612
+
+
+class SharingDecoder:
+    def decode_skb_from_cache(self, payload):
+        skb = self.cache[payload[0]]
+        return skb  # expect: OWN613
+
+    def from_wire(self, record):
+        return self.template_skb  # expect: OWN613

@@ -1,0 +1,38 @@
+"""Single-owner counterparts of the OWN61x shapes.
+
+Mirrors the real pipeline idioms: encode last and drop the local,
+GRO's store-XOR-forward split (held on one path, returned on the
+disjoint other), and boundary constructors that build fresh objects.
+"""
+
+
+class WireEgress:
+    def ship(self, skb):
+        payload = encode_skb(skb)
+        self.records.append(payload)
+
+    def ship_copy_of_fields(self, skb):
+        size = skb.size
+        payload = encode_skb(skb)
+        return (size, payload)
+
+
+class GroLikeStage:
+    def feed(self, skb):
+        if self._mergeable(skb):
+            self.held.append(skb)
+            return None
+        return skb
+
+    def flush_one(self):
+        merged_skb = self._merge_held()
+        return merged_skb
+
+
+class FreshDecoder:
+    def decode_skb(self, payload):
+        return Skb(payload[0], payload[1], payload[2])
+
+    def from_wire_payload(self, record):
+        skb = Skb(record.payload[0], record.payload[1], record.payload[2])
+        return skb

@@ -1,0 +1,40 @@
+"""OWN621-623: flow-cache entry lifecycle violations.
+
+insert -> hit -> invalidate must be total and accounted: an
+unaccounted removal blinds the counter-conservation checks, a double
+release on one path tears down an entry a re-insert now owns (the
+RECORD_INVAL churn hazard), and a table with no removal surface keeps
+stale fast-path mappings forever.
+"""
+
+
+class SilentDropTable:
+    def __init__(self):
+        self._entries = {}
+        self.evictions = 0
+
+    def drop_flow(self, key):
+        self._entries.pop(key, None)  # expect: OWN621
+
+    def flush_host(self):
+        self._entries.clear()  # expect: OWN621
+
+
+class DoubleTeardown:
+    def churn_teardown(self, table, key):
+        table.invalidate(key)
+        self.notify_remote(key)
+        table.invalidate(key)  # expect: OWN622
+
+    def scrub(self, key):
+        self.invalidations += 1
+        self._entries.pop(key, None)
+        self._entries.pop(key, None)  # expect: OWN622
+
+
+class ImmortalMapTable:
+    def __init__(self):
+        self._entries = {}
+
+    def insert(self, key, route):
+        self._entries[key] = route  # expect: OWN623

@@ -1,0 +1,42 @@
+"""Accounted counterparts of the OWN62x shapes.
+
+Mirrors the real `FlowTable` discipline: every removal bumps an
+eviction/invalidation counter in the same routine, churn tears an
+entry down exactly once per path, and the class that populates the
+entries map also ships its removal surface.
+"""
+
+
+class AccountedTable:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = {}
+        self.evictions = 0
+        self.invalidations = 0
+
+    def insert(self, key, route):
+        if len(self._entries) >= self.capacity:
+            victim = next(iter(self._entries))
+            self._entries.pop(victim)
+            self.evictions += 1
+        self._entries[key] = route
+
+    def invalidate(self, key):
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
+
+    def invalidate_all(self):
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+
+class ChurnCoordinator:
+    def retire_flow(self, table, key, local):
+        if local:
+            table.invalidate(key)
+        else:
+            table.invalidate_flow(key)
+
+    def relocate(self, table, key, notify):
+        table.invalidate(key)
+        notify("inval", key)

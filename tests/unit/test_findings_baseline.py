@@ -18,12 +18,14 @@ from repro.analysis.baseline import (
 from repro.analysis.flow import flow_paths
 from repro.analysis.lint import lint_paths
 from repro.analysis.order import order_paths
+from repro.analysis.san import san_paths
 from repro.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 LINT_BASELINE = REPO_ROOT / "tools" / "lint_baseline.txt"
 FLOW_BASELINE = REPO_ROOT / "tools" / "flow_baseline.txt"
 ORDER_BASELINE = REPO_ROOT / "tools" / "order_baseline.txt"
+SAN_BASELINE = REPO_ROOT / "tools" / "san_baseline.txt"
 
 
 def suppressed_result(tmp_path):
@@ -126,6 +128,20 @@ class TestCheckedInBaselinesMatchReality:
         # live in the rules' scope/exempt declarations, with reasons.
         assert load_baseline_file(str(ORDER_BASELINE)) == {}
 
+    def test_san_baseline_is_current(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        result = san_paths([str(REPO_ROOT / "src")])
+        frozen = load_baseline_file(str(SAN_BASELINE))
+        errors = check_baseline(result, frozen)
+        assert errors == [], "\n".join(errors)
+
+    def test_san_baseline_is_empty(self):
+        # simsan's acceptance bar: the engine's freelist, the wire codec
+        # and the flowcache satisfy every OWN rule with no pragmas at
+        # all — ownership discipline holds in-tree, not modulo a list
+        # of grandfathered leaks.
+        assert load_baseline_file(str(SAN_BASELINE)) == {}
+
 
 class TestCli:
     def test_lint_with_baseline_passes(self, capsys, monkeypatch):
@@ -149,6 +165,14 @@ class TestCli:
         code = main([
             "order", str(REPO_ROOT / "src"),
             "--baseline", str(ORDER_BASELINE),
+        ])
+        assert code == 0
+
+    def test_san_with_baseline_passes(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main([
+            "san", str(REPO_ROOT / "src"),
+            "--baseline", str(SAN_BASELINE),
         ])
         assert code == 0
 

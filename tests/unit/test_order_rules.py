@@ -250,7 +250,7 @@ class TestUnifiedCheck:
         report = run_check([str(FIXTURES)])
         assert not report.ok
         by_name = {step.name: step for step in report.steps}
-        assert set(by_name) == {"lint", "flow", "order", "mypy"}
+        assert set(by_name) == {"lint", "flow", "order", "san", "mypy"}
         assert not by_name["order"].ok
         assert by_name["flow"].ok
         # mypy is optional in this environment: ok or skipped, never
@@ -272,7 +272,7 @@ class TestUnifiedCheck:
         payload = json.loads(report.to_json())
         assert payload["ok"] is False
         assert [step["name"] for step in payload["steps"]] == [
-            "lint", "flow", "order", "mypy",
+            "lint", "flow", "order", "san", "mypy",
         ]
         for step in payload["steps"]:
             assert set(step) == {"name", "ok", "skipped", "summary"}
